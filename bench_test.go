@@ -1,0 +1,243 @@
+// Benchmarks regenerating every table and figure of the paper (see
+// DESIGN.md §5 for the experiment index and EXPERIMENTS.md for recorded
+// results). Sizes are bounded so `go test -bench=.` finishes in minutes;
+// `cmd/tables` without -quick runs the unbounded sweep.
+package repro_test
+
+import (
+	"fmt"
+	"io"
+	"testing"
+
+	"repro/internal/atpg"
+	"repro/internal/circuits"
+	"repro/internal/equiv"
+	"repro/internal/fault"
+	"repro/internal/fires"
+	"repro/internal/gen"
+	"repro/internal/harness"
+	"repro/internal/imply"
+	"repro/internal/learn"
+	"repro/internal/sim"
+)
+
+// BenchmarkTable1SingleNode regenerates the paper's Table 1: single-node
+// stem simulation on Figure 1.
+func BenchmarkTable1SingleNode(b *testing.B) {
+	c := circuits.Figure1()
+	for i := 0; i < b.N; i++ {
+		lr := learn.Learn(c, learn.Options{SingleNodeOnly: true, KeepRows: true, SkipComb: true})
+		if len(lr.Rows) != 10 {
+			b.Fatal("table 1 rows missing")
+		}
+	}
+}
+
+// BenchmarkTable2Learning regenerates the paper's Table 2: the full staged
+// learning flow on Figure 1 (ties, equivalences, multiple-node pass).
+func BenchmarkTable2Learning(b *testing.B) {
+	c := circuits.Figure1()
+	for i := 0; i < b.N; i++ {
+		lr := learn.Learn(c, learn.Options{})
+		if ffff, _, _ := lr.DB.Counts(true); ffff != 14 {
+			b.Fatalf("table 2 FF-FF relations = %d, want 14", ffff)
+		}
+	}
+}
+
+// BenchmarkFigure2Learning regenerates the Figure 2 walk-through: the
+// multiple-node relation G9=0 -> F2=0.
+func BenchmarkFigure2Learning(b *testing.B) {
+	c := circuits.Figure2()
+	for i := 0; i < b.N; i++ {
+		lr := learn.Learn(c, learn.Options{})
+		if !lr.DB.HasNamed("G9", 1, "F2", 1, 0) {
+			b.Fatal("figure 2 relation missing")
+		}
+	}
+}
+
+// BenchmarkTable3Learning regenerates Table 3 rows (sequential learning)
+// per suite circuit, bounded to mid-size stand-ins for bench runs.
+func BenchmarkTable3Learning(b *testing.B) {
+	for _, name := range []string{"s382", "s953", "s1423", "s3330", "s5378", "s9234", "s510jcsrre", "indust1"} {
+		e, _ := gen.Lookup(name)
+		c := gen.Build(e)
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				lr := learn.Learn(c, learn.Options{SkipComb: e.Gates > 5000})
+				if lr.DB.Len() == 0 {
+					b.Fatal("no relations learned")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkTable4Untestable regenerates Table 4: tie-gate untestables vs
+// the FIRES-style analysis.
+func BenchmarkTable4Untestable(b *testing.B) {
+	for _, name := range []string{"s3330", "s5378"} {
+		c := gen.MustBuild(name)
+		lr := learn.Learn(c, learn.Options{})
+		b.Run(name+"/ties", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				fires.TieUntestable(c, lr)
+			}
+		})
+		b.Run(name+"/fires", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				fires.Fires(c, lr, fires.Options{UseRelations: true})
+			}
+		})
+	}
+}
+
+// BenchmarkTable5ATPG regenerates Table 5 cells: the ATPG grid over
+// learning modes at backtrack limit 30, on a bounded fault sample.
+func BenchmarkTable5ATPG(b *testing.B) {
+	for _, name := range []string{"s1423", "s510jcsrre"} {
+		c := gen.MustBuild(name)
+		lr := learn.Learn(c, learn.Options{})
+		combTies := append([]learn.Tie{}, lr.CombTies...)
+		allTies := append(append([]learn.Tie{}, lr.CombTies...), lr.SeqTies...)
+		faults, _ := fault.Collapse(c)
+		if len(faults) > 250 {
+			faults = faults[:250]
+		}
+		for _, mode := range []atpg.Mode{atpg.ModeNoLearning, atpg.ModeForbidden, atpg.ModeKnown} {
+			ties := allTies
+			if mode == atpg.ModeNoLearning {
+				ties = combTies
+			}
+			b.Run(fmt.Sprintf("%s/%s", name, mode), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					res := atpg.Run(c, atpg.RunOptions{
+						Faults: faults,
+						ATPG: atpg.Options{
+							BacktrackLimit: 30,
+							Mode:           mode,
+							DB:             lr.DB,
+							Ties:           ties,
+							FillSeed:       0x7e57,
+						},
+					})
+					if res.VerifyFailures != 0 {
+						b.Fatal("verification failure")
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkAblationForwardVsInjection compares the paper's forward-only
+// sequential sweep against the classical 2-injections-per-node
+// combinational learner on the same circuit (DESIGN.md §6).
+func BenchmarkAblationForwardVsInjection(b *testing.B) {
+	c := gen.MustBuild("s5378")
+	b.Run("sequential-forward", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			learn.Learn(c, learn.Options{SkipComb: true})
+		}
+	})
+	b.Run("combinational-injection", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			db := imply.NewDB(c)
+			learn.Combinational(c, db, nil)
+		}
+	})
+}
+
+// BenchmarkAblationTies measures the multiple-node phase with and without
+// tie constants (DESIGN.md §6).
+func BenchmarkAblationTies(b *testing.B) {
+	c := gen.MustBuild("s953")
+	b.Run("with-ties", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			learn.Learn(c, learn.Options{SkipComb: true})
+		}
+	})
+	b.Run("without-ties", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			learn.Learn(c, learn.Options{SkipComb: true, DisableTies: true})
+		}
+	})
+}
+
+// BenchmarkAblationEquiv measures equivalence identification and use.
+func BenchmarkAblationEquiv(b *testing.B) {
+	c := gen.MustBuild("s953")
+	b.Run("with-equivalences", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			learn.Learn(c, learn.Options{SkipComb: true})
+		}
+	})
+	b.Run("without-equivalences", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			learn.Learn(c, learn.Options{SkipComb: true, DisableEquiv: true})
+		}
+	})
+	b.Run("equiv-find-only", func(b *testing.B) {
+		lr := learn.Learn(c, learn.Options{SkipComb: true})
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			equiv.Find(c, lr.Ties, equiv.Options{})
+		}
+	})
+}
+
+// BenchmarkAblationEarlyStop measures the repeated-state stopping rule
+// (DESIGN.md §6: it turns the 50-frame cap into a few frames per stem).
+func BenchmarkAblationEarlyStop(b *testing.B) {
+	c := gen.MustBuild("s1423")
+	b.Run("early-stop", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			learn.Learn(c, learn.Options{SkipComb: true, SingleNodeOnly: true})
+		}
+	})
+	b.Run("no-early-stop", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			learn.Learn(c, learn.Options{SkipComb: true, SingleNodeOnly: true, DisableEarlyStop: true})
+		}
+	})
+}
+
+// BenchmarkSimulatorThroughput measures the scheduled simulator on one
+// stem injection of a large circuit (the learning inner loop).
+func BenchmarkSimulatorThroughput(b *testing.B) {
+	c := gen.MustBuild("s38417")
+	e := sim.NewEngine(c)
+	stems := c.Stems()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := stems[i%len(stems)]
+		e.Run([]sim.Injection{{Frame: 0, Node: s, Val: 1}}, sim.Options{})
+	}
+}
+
+// BenchmarkHarnessTables smoke-runs the full table harness at quick
+// bounds, writing to io.Discard (regenerates Tables 1-5 end to end).
+func BenchmarkHarnessTables(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if err := harness.Table1(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+		if err := harness.Table2(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := harness.Table3(io.Discard, 1000); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := harness.Table4(io.Discard, 2000); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := harness.Table5(io.Discard, harness.Table5Options{
+			Circuits:  []string{"s510jcsrre"},
+			Limits:    []int{30},
+			MaxFaults: 60,
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,105 @@
+// Command seqatpg runs the sequential test generator over a circuit's
+// collapsed fault list, with or without learned data (one cell group of
+// the paper's Table 5).
+//
+// Usage:
+//
+//	seqatpg -circuit s1423 -mode forbidden -backtracks 30
+//	seqatpg -bench design.bench -mode known -max-faults 500
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/atpg"
+	"repro/internal/bench"
+	"repro/internal/circuits"
+	"repro/internal/gen"
+	"repro/internal/learn"
+	"repro/internal/netlist"
+)
+
+func main() {
+	var (
+		circuit   = flag.String("circuit", "", "suite circuit name, figure1 or figure2")
+		benchFile = flag.String("bench", "", "path to a .bench netlist")
+		mode      = flag.String("mode", "forbidden", "learning use: nolearn, forbidden, known")
+		limit     = flag.Int("backtracks", 30, "backtrack limit per window")
+		maxFaults = flag.Int("max-faults", 0, "truncate the fault list (0 = all)")
+		maxWin    = flag.Int("max-window", 8, "largest time-frame window")
+	)
+	flag.Parse()
+
+	c, err := load(*circuit, *benchFile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "seqatpg:", err)
+		os.Exit(1)
+	}
+	var m atpg.Mode
+	switch *mode {
+	case "nolearn":
+		m = atpg.ModeNoLearning
+	case "forbidden":
+		m = atpg.ModeForbidden
+	case "known":
+		m = atpg.ModeKnown
+	default:
+		fmt.Fprintf(os.Stderr, "seqatpg: unknown mode %q\n", *mode)
+		os.Exit(1)
+	}
+
+	lr := learn.Learn(c, learn.Options{})
+	var ties []learn.Tie
+	ties = append(ties, lr.CombTies...)
+	ties = append(ties, lr.SeqTies...)
+
+	var windows []int
+	for w := 1; w <= *maxWin; w *= 2 {
+		windows = append(windows, w)
+	}
+	res := atpg.Run(c, atpg.RunOptions{
+		MaxFaults: *maxFaults,
+		ATPG: atpg.Options{
+			BacktrackLimit: *limit,
+			Windows:        windows,
+			Mode:           m,
+			DB:             lr.DB,
+			Ties:           ties,
+			FillSeed:       0x7e57,
+		},
+	})
+	fmt.Printf("%s: %s\n", c.Name, c.Stats())
+	fmt.Printf("mode=%s backtrack-limit=%d\n", m, *limit)
+	fmt.Printf("faults=%d detected=%d untestable=%d aborted=%d\n",
+		res.Total, res.Detected, res.Untestable, res.Aborted)
+	fmt.Printf("coverage=%.2f%% test-coverage=%.2f%% tests=%d backtracks=%d cpu=%v\n",
+		100*res.Coverage(), 100*res.TestCoverage(), len(res.Tests), res.Backtracks, res.Duration)
+	if res.VerifyFailures > 0 {
+		fmt.Fprintf(os.Stderr, "seqatpg: %d tests failed independent verification\n", res.VerifyFailures)
+		os.Exit(1)
+	}
+}
+
+func load(circuit, benchFile string) (*netlist.Circuit, error) {
+	switch {
+	case benchFile != "":
+		f, err := os.Open(benchFile)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return bench.Parse(benchFile, f)
+	case circuit == "figure1":
+		return circuits.Figure1(), nil
+	case circuit == "figure2":
+		return circuits.Figure2(), nil
+	case circuit != "":
+		if _, ok := gen.Lookup(circuit); !ok {
+			return nil, fmt.Errorf("unknown suite circuit %q", circuit)
+		}
+		return gen.MustBuild(circuit), nil
+	}
+	return nil, fmt.Errorf("need -circuit or -bench")
+}

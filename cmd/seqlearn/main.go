@@ -1,0 +1,84 @@
+// Command seqlearn runs sequential learning on a circuit and reports the
+// learned relations, tied gates and statistics (one row of the paper's
+// Table 3).
+//
+// Usage:
+//
+//	seqlearn -circuit s5378            # synthetic suite stand-in
+//	seqlearn -bench design.bench       # extended ISCAS-89 netlist
+//	seqlearn -circuit figure1 -dump    # dump every learned relation
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/bench"
+	"repro/internal/circuits"
+	"repro/internal/gen"
+	"repro/internal/learn"
+	"repro/internal/netlist"
+)
+
+func main() {
+	var (
+		circuit    = flag.String("circuit", "", "suite circuit name (e.g. s5378), figure1 or figure2")
+		benchFile  = flag.String("bench", "", "path to a .bench netlist")
+		dump       = flag.Bool("dump", false, "dump all learned relations")
+		singleOnly = flag.Bool("single-only", false, "single-node learning only")
+		skipComb   = flag.Bool("skip-comb", false, "skip the combinational learning pass")
+		maxFrames  = flag.Int("max-frames", 0, "simulation frame cap (default 50)")
+	)
+	flag.Parse()
+
+	c, err := load(*circuit, *benchFile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "seqlearn:", err)
+		os.Exit(1)
+	}
+
+	res := learn.Learn(c, learn.Options{
+		SingleNodeOnly: *singleOnly,
+		SkipComb:       *skipComb,
+		MaxFrames:      *maxFrames,
+	})
+	ffff, gateFF, _ := res.DB.Counts(true)
+	fmt.Printf("%s: %s\n", c.Name, c.Stats())
+	fmt.Printf("sequential relations: FF-FF=%d Gate-FF=%d\n", ffff, gateFF)
+	fmt.Printf("tied gates: %d combinational, %d sequential\n", len(res.CombTies), len(res.SeqTies))
+	fmt.Printf("equivalence classes: %d\n", len(res.EquivClasses))
+	fmt.Printf("stats: stems=%d targets=%d sims=%d conflicts=%d cpu=%v\n",
+		res.Stats.Stems, res.Stats.Targets, res.Stats.Sims, res.Stats.Conflicts, res.Stats.Duration)
+	if *dump {
+		if err := res.DB.WriteText(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "seqlearn:", err)
+			os.Exit(1)
+		}
+		for _, tie := range append(append([]learn.Tie{}, res.CombTies...), res.SeqTies...) {
+			fmt.Printf("tie %s = %s (frame %d)\n", c.NameOf(tie.Node), tie.Val, tie.Frame)
+		}
+	}
+}
+
+func load(circuit, benchFile string) (*netlist.Circuit, error) {
+	switch {
+	case benchFile != "":
+		f, err := os.Open(benchFile)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return bench.Parse(benchFile, f)
+	case circuit == "figure1":
+		return circuits.Figure1(), nil
+	case circuit == "figure2":
+		return circuits.Figure2(), nil
+	case circuit != "":
+		if _, ok := gen.Lookup(circuit); !ok {
+			return nil, fmt.Errorf("unknown suite circuit %q", circuit)
+		}
+		return gen.MustBuild(circuit), nil
+	}
+	return nil, fmt.Errorf("need -circuit or -bench")
+}

@@ -1,0 +1,47 @@
+// Figure-2 ATPG walk-through (paper Sections 3.1 and 4): multiple-node
+// learning extracts G9=0 → F2=0, a relation no backward/forward
+// combinational learner can find, and the test generator uses it — as a
+// known value or as a forbidden value — to prune the search for the
+// stuck-at-1 fault on G9.
+package main
+
+import (
+	"fmt"
+
+	"repro/seqlearn"
+)
+
+func main() {
+	c := seqlearn.Figure2()
+	fmt.Printf("circuit %s: %s\n\n", c.Name, c.Stats())
+
+	res := seqlearn.Learn(c, seqlearn.LearnOptions{})
+	fmt.Println("same-frame relations involving G9:")
+	for _, rel := range res.DB.Relations() {
+		if rel.Dt != 0 {
+			continue
+		}
+		if c.NameOf(rel.A.Node) == "G9" || c.NameOf(rel.B.Node) == "G9" {
+			fmt.Println("  ", res.DB.FormatRelation(rel))
+		}
+	}
+
+	target := seqlearn.Fault{Node: c.MustLookup("G9"), Stuck: seqlearn.One}
+	fmt.Println("\ntargeting G9 stuck-at-1 (excitation needs G9=0):")
+	for _, mode := range []seqlearn.Mode{
+		seqlearn.ModeNoLearning, seqlearn.ModeForbidden, seqlearn.ModeKnown,
+	} {
+		r := seqlearn.GenerateTest(c, target, seqlearn.ATPGOptions{
+			BacktrackLimit: 1000,
+			Windows:        []int{1, 2, 3},
+			Mode:           mode,
+			DB:             res.DB,
+			FillSeed:       3,
+		})
+		fmt.Printf("  %-10s outcome=%-10s backtracks=%d frames=%d\n",
+			mode, r.Outcome, r.Backtracks, len(r.Test))
+		for t, vec := range r.Test {
+			fmt.Printf("     frame %d inputs: %v\n", t, vec)
+		}
+	}
+}

@@ -1,0 +1,138 @@
+package atpg
+
+import (
+	"time"
+
+	"repro/internal/fault"
+	"repro/internal/logic"
+	"repro/internal/netlist"
+)
+
+// RunOptions configures a full test-generation run over a fault list.
+type RunOptions struct {
+	ATPG Options
+
+	// Faults is the target list (default: the collapsed universe).
+	Faults []fault.Fault
+
+	// MaxFaults truncates the target list (0 = all); used by quick
+	// experiment modes.
+	MaxFaults int
+
+	// PreUntestable lists faults already proven untestable by an external
+	// analysis (tie gates, FIRES); the driver counts them untestable
+	// without searching — the paper's learning-enabled runs classify
+	// tie-gate faults exactly this way.
+	PreUntestable []fault.Fault
+}
+
+// RunResult summarizes a test-generation run — one cell group of the
+// paper's Table 5.
+type RunResult struct {
+	Total      int // faults targeted
+	Detected   int
+	Untestable int
+	Aborted    int
+
+	Tests      [][][]logic.V // generated test sequences (PI vectors per frame)
+	Backtracks int
+	Duration   time.Duration
+
+	// VerifyFailures counts generated tests the independent fault
+	// simulator did not confirm; they are reclassified as aborted and
+	// indicate a generator bug (always 0 in our test suite).
+	VerifyFailures int
+}
+
+// Coverage returns detected / total.
+func (r RunResult) Coverage() float64 {
+	if r.Total == 0 {
+		return 0
+	}
+	return float64(r.Detected) / float64(r.Total)
+}
+
+// TestCoverage returns detected / (total - untestable), the paper's "test
+// coverage (fault coverage excluding untestable faults)".
+func (r RunResult) TestCoverage() float64 {
+	d := r.Total - r.Untestable
+	if d <= 0 {
+		return 0
+	}
+	return float64(r.Detected) / float64(d)
+}
+
+// Run generates tests for every fault with fault dropping: after each
+// successful generation the test sequence is fault-simulated against the
+// remaining faults and everything it detects is dropped. Every generated
+// test is independently verified by the fault simulator before being
+// counted.
+func Run(c *netlist.Circuit, opt RunOptions) RunResult {
+	start := time.Now()
+	faults := opt.Faults
+	if faults == nil {
+		faults, _ = fault.Collapse(c)
+	}
+	if opt.MaxFaults > 0 && len(faults) > opt.MaxFaults {
+		faults = faults[:opt.MaxFaults]
+	}
+
+	res := RunResult{Total: len(faults)}
+	dropped := make(map[fault.Fault]bool, len(faults))
+	fsim := fault.NewSim(c)
+	opt.ATPG.rels = buildRelIndex(c, opt.ATPG.DB, opt.ATPG.Mode, opt.ATPG.UseCrossFrame)
+
+	if len(opt.PreUntestable) > 0 {
+		pre := make(map[fault.Fault]bool, len(opt.PreUntestable))
+		for _, f := range opt.PreUntestable {
+			pre[f] = true
+		}
+		for _, f := range faults {
+			if pre[f] && !dropped[f] {
+				dropped[f] = true
+				res.Untestable++
+			}
+		}
+	}
+
+	for i, f := range faults {
+		if dropped[f] {
+			continue
+		}
+		gopt := opt.ATPG
+		if gopt.FillSeed != 0 {
+			gopt.FillSeed = gopt.FillSeed*31 + uint64(i) + 1
+		}
+		g := Generate(c, f, gopt)
+		res.Backtracks += g.Backtracks
+		switch g.Outcome {
+		case Untestable:
+			res.Untestable++
+			dropped[f] = true
+		case Aborted:
+			res.Aborted++
+			dropped[f] = true // do not retarget
+		case Detected:
+			fsim.LoadSequence(g.Test, nil)
+			if ok, _ := fsim.Detects(f); !ok {
+				res.VerifyFailures++
+				res.Aborted++
+				dropped[f] = true
+				continue
+			}
+			res.Tests = append(res.Tests, g.Test)
+			// Drop everything this sequence detects.
+			for _, other := range faults {
+				if dropped[other] {
+					continue
+				}
+				if ok, _ := fsim.Detects(other); ok {
+					dropped[other] = true
+					res.Detected++
+				}
+			}
+		}
+	}
+	res.Duration = time.Since(start)
+	return res
+}

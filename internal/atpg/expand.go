@@ -1,0 +1,482 @@
+package atpg
+
+import (
+	"repro/internal/fault"
+	"repro/internal/imply"
+	"repro/internal/learn"
+	"repro/internal/logic"
+	"repro/internal/netlist"
+)
+
+// expanded is the time-frame-expanded 5-valued circuit model for one fault
+// and one window size. Values are monotone within a search (X → known), so
+// backtracking is a trail rollback.
+type expanded struct {
+	c  *netlist.Circuit
+	w  int // window size (frames 0..w-1)
+	f  fault.Fault
+	ri *relIndex
+
+	mode Mode
+	ties []learn.Tie
+
+	// tainted marks nodes structurally reachable from the fault site
+	// (through any number of frames): on those, learned facts constrain
+	// only the good-machine component.
+	tainted []bool
+
+	values [][]logic.V5 // [frame][node]
+	forb   [][]uint8    // forbidden-value bits: bit0 = must-not-be-0, bit1 = must-not-be-1
+
+	trail    []trailEntry
+	conflict bool
+	queue    []fnode // evaluation worklist
+	inQueue  map[fnode]bool
+	dCount   int // nodes currently carrying a fault effect
+}
+
+type fnode struct {
+	t int
+	n netlist.NodeID
+}
+
+type trailEntry struct {
+	at      fnode
+	forbBit uint8 // 0 for value entries; else the bit that was set
+}
+
+func newExpanded(c *netlist.Circuit, f fault.Fault, w int, opt *Options) *expanded {
+	e := &expanded{
+		c:       c,
+		w:       w,
+		f:       f,
+		mode:    opt.Mode,
+		ties:    opt.Ties,
+		ri:      opt.rels,
+		tainted: taint(c, f.Node),
+		values:  make([][]logic.V5, w),
+		forb:    make([][]uint8, w),
+		inQueue: map[fnode]bool{},
+	}
+	for t := 0; t < w; t++ {
+		e.values[t] = make([]logic.V5, c.NumNodes())
+		e.forb[t] = make([]uint8, c.NumNodes())
+	}
+	return e
+}
+
+// taint marks every node reachable from start, crossing sequential
+// elements any number of times.
+func taint(c *netlist.Circuit, start netlist.NodeID) []bool {
+	seen := make([]bool, c.NumNodes())
+	queue := []netlist.NodeID{start}
+	seen[start] = true
+	for len(queue) > 0 {
+		n := queue[0]
+		queue = queue[1:]
+		for _, out := range c.Fanouts(n) {
+			if !seen[out] {
+				seen[out] = true
+				queue = append(queue, out)
+			}
+		}
+	}
+	return seen
+}
+
+// init asserts ties and schedules the fault site, returning false on
+// immediate conflict.
+func (e *expanded) init() bool {
+	for _, tie := range e.ties {
+		for t := tie.Frame; t < e.w; t++ {
+			at := fnode{t, tie.Node}
+			switch {
+			case tie.Node == e.f.Node:
+				// Good component tied; faulty component stuck.
+				if !e.assign(at, logic.Compose(tie.Val, e.f.Stuck)) {
+					return false
+				}
+			case e.tainted[tie.Node]:
+				// Only the good component is pinned; not representable —
+				// skip (sound, loses a little pruning).
+			default:
+				if !e.assign(at, logic.Compose(tie.Val, tie.Val)) {
+					return false
+				}
+			}
+		}
+	}
+	return e.settle()
+}
+
+// assign sets a value, detects conflicts (including forbidden marks) and
+// triggers consequences. X assignments are ignored.
+func (e *expanded) assign(at fnode, v logic.V5) bool {
+	if v == logic.X5 || e.conflict {
+		return !e.conflict
+	}
+	cur := e.values[at.t][at.n]
+	if cur == v {
+		return true
+	}
+	if cur != logic.X5 {
+		e.conflict = true
+		return false
+	}
+	// Forbidden-value check: a binary value hitting its forbidden mark is
+	// a conflict discovered early (the paper's main pruning effect).
+	if g := v.Good(); g.Known() {
+		bit := uint8(1)
+		if g == logic.One {
+			bit = 2
+		}
+		if e.forb[at.t][at.n]&bit != 0 {
+			e.conflict = true
+			return false
+		}
+	}
+	e.values[at.t][at.n] = v
+	if v.Faulted() {
+		e.dCount++
+	}
+	e.trail = append(e.trail, trailEntry{at: at})
+	e.enqueueFanouts(at)
+	if g := v.Good(); g.Known() {
+		if !e.applyRelations(at, g) {
+			return false
+		}
+	}
+	return true
+}
+
+func (e *expanded) enqueueFanouts(at fnode) {
+	for _, out := range e.c.Fanouts(at.n) {
+		nd := &e.c.Nodes[out]
+		if nd.Kind == netlist.KindGate {
+			e.push(fnode{at.t, out})
+		} else if nd.Seq != nil && at.t+1 < e.w {
+			e.push(fnode{at.t + 1, out})
+		}
+	}
+	// A sequential node's own value change (capture) does not re-trigger
+	// its frame; its fanouts were pushed above.
+}
+
+func (e *expanded) push(at fnode) {
+	if !e.inQueue[at] {
+		e.inQueue[at] = true
+		e.queue = append(e.queue, at)
+	}
+}
+
+// applyRelations fires the learned same-frame relations for a good-known
+// literal (paper Section 4).
+func (e *expanded) applyRelations(at fnode, g logic.V) bool {
+	if e.ri == nil {
+		return true
+	}
+	// Only trust the antecedent when it is a pure good-machine fact: on
+	// tainted nodes the composite good component is still the good
+	// machine's value, so the antecedent always holds for the good
+	// machine.
+	lit := imply.Lit{Node: at.n, Val: g}
+	for _, tgt := range e.ri.of(lit) {
+		if at.t < tgt.depth {
+			continue // not enough history in this window
+		}
+		if !e.applyOne(fnode{at.t, tgt.lit.Node}, tgt.lit.Val) {
+			return false
+		}
+	}
+	// Cross-frame relations (window extension): the consequent lands in a
+	// different frame; the in-window bound implies enough history for the
+	// direct relations learning stores.
+	for _, tgt := range e.ri.crossOf(lit) {
+		ft := at.t + tgt.dt
+		if ft < 0 || ft >= e.w {
+			continue
+		}
+		if !e.applyOne(fnode{ft, tgt.lit.Node}, tgt.lit.Val) {
+			return false
+		}
+	}
+	return true
+}
+
+// applyOne fires a single implied literal at a frame node according to the
+// learning-use mode.
+func (e *expanded) applyOne(m fnode, w logic.V) bool {
+	cur := e.values[m.t][m.n]
+	if cg := cur.Good(); cg.Known() && cg != w {
+		e.conflict = true // good-machine contradiction
+		return false
+	}
+	switch e.mode {
+	case ModeKnown, ModeNoLearning:
+		// Assert the implied value outright on untainted nodes (good
+		// == faulty there).
+		if !e.tainted[m.n] {
+			if !e.assign(m, logic.Compose(w, w)) {
+				return false
+			}
+		}
+	case ModeForbidden:
+		if !e.markForbidden(m, w.Not()) {
+			return false
+		}
+	}
+	return true
+}
+
+// markForbidden records "node must not be v" and propagates the mark as a
+// pseudo-value ("Forbidden 0 is implied as 1, and forbidden 1 is implied
+// as 0").
+func (e *expanded) markForbidden(at fnode, v logic.V) bool {
+	if e.conflict {
+		return false
+	}
+	bit := uint8(1)
+	if v == logic.One {
+		bit = 2
+	}
+	if e.forb[at.t][at.n]&bit != 0 {
+		return true // already marked
+	}
+	// A known value equal to the newly forbidden one is a conflict.
+	if g := e.values[at.t][at.n].Good(); g.Known() && g == v {
+		e.conflict = true
+		return false
+	}
+	e.forb[at.t][at.n] |= bit
+	e.trail = append(e.trail, trailEntry{at: at, forbBit: bit})
+	if e.forb[at.t][at.n] == 3 {
+		e.conflict = true // nothing left for the node to be
+		return false
+	}
+	e.propagateForbidden(at)
+	return !e.conflict
+}
+
+// propagateForbidden pushes a mark backward through unique-justification
+// structures and both ways through buffers/inverters and flip-flops.
+func (e *expanded) propagateForbidden(at fnode) {
+	nd := &e.c.Nodes[at.n]
+	mustNot0 := e.forb[at.t][at.n]&1 != 0 // node must be 1 if binary
+	mustNot1 := e.forb[at.t][at.n]&2 != 0
+
+	markPin := func(t int, p netlist.Pin, v logic.V) {
+		if p.Inv {
+			v = v.Not()
+		}
+		e.markForbidden(fnode{t, p.Node}, v)
+	}
+
+	switch nd.Kind {
+	case netlist.KindGate:
+		fanin := e.c.Fanin(at.n)
+		switch nd.Op {
+		case logic.OpBuf:
+			if mustNot0 {
+				markPin(at.t, fanin[0], logic.Zero)
+			}
+			if mustNot1 {
+				markPin(at.t, fanin[0], logic.One)
+			}
+		case logic.OpNot:
+			if mustNot0 {
+				markPin(at.t, fanin[0], logic.One)
+			}
+			if mustNot1 {
+				markPin(at.t, fanin[0], logic.Zero)
+			}
+		case logic.OpAnd, logic.OpNand, logic.OpOr, logic.OpNor:
+			ctrl, _ := nd.Op.Controlling()
+			controlled := nd.Op.ControlledOutput()
+			// "Must not be the controlled output" means no input may
+			// carry the controlling value.
+			forbidControlled := (controlled == logic.Zero && mustNot0) ||
+				(controlled == logic.One && mustNot1)
+			if forbidControlled {
+				for _, p := range fanin {
+					markPin(at.t, p, ctrl)
+				}
+			}
+		}
+	case netlist.KindDFF, netlist.KindLatch:
+		si := nd.Seq
+		// A mark on the output becomes a mark on the D pin one frame
+		// earlier, unless set/reset or extra ports could override.
+		if at.t > 0 && !si.HasSet() && !si.HasReset() && len(si.Ports) == 0 {
+			if mustNot0 {
+				markPin(at.t-1, si.D, logic.Zero)
+			}
+			if mustNot1 {
+				markPin(at.t-1, si.D, logic.One)
+			}
+		}
+	}
+}
+
+// settle evaluates the worklist to fixpoint.
+func (e *expanded) settle() bool {
+	for len(e.queue) > 0 && !e.conflict {
+		at := e.queue[len(e.queue)-1]
+		e.queue = e.queue[:len(e.queue)-1]
+		e.inQueue[at] = false
+		e.eval(at)
+	}
+	return !e.conflict
+}
+
+// pin5 reads a fanin pin in frame t.
+func (e *expanded) pin5(t int, p netlist.Pin) logic.V5 {
+	v := e.values[t][p.Node]
+	if p.Inv {
+		v = v.Not5()
+	}
+	return v
+}
+
+// eval computes the value of a gate or a sequential capture.
+func (e *expanded) eval(at fnode) {
+	nd := &e.c.Nodes[at.n]
+	switch nd.Kind {
+	case netlist.KindGate:
+		var buf [16]logic.V5
+		fanin := e.c.Fanin(at.n)
+		vals := buf[:0]
+		if cap(vals) < len(fanin) {
+			vals = make([]logic.V5, 0, len(fanin))
+		}
+		for _, p := range fanin {
+			vals = append(vals, e.pin5(at.t, p))
+		}
+		v := logic.Eval5Slice(nd.Op, vals)
+		if at.n == e.f.Node {
+			v = e.forceFault(v)
+		}
+		e.assign(at, v)
+	case netlist.KindDFF, netlist.KindLatch:
+		if at.t == 0 {
+			return // unknown initial state
+		}
+		v := e.capture(at.t-1, nd.Seq)
+		if at.n == e.f.Node {
+			v = e.forceFault(v)
+		}
+		e.assign(at, v)
+	}
+}
+
+// forceFault recomposes a value at the fault site: the faulty component is
+// stuck, the good component follows the evaluation.
+func (e *expanded) forceFault(v logic.V5) logic.V5 {
+	g := v.Good()
+	if !g.Known() {
+		return logic.X5
+	}
+	return logic.Compose(g, e.f.Stuck)
+}
+
+// capture computes the 5-valued next-state of a sequential element from
+// frame t, mirroring the functional simulator's pessimistic semantics in
+// both machines.
+func (e *expanded) capture(t int, si *netlist.SeqInfo) logic.V5 {
+	read3 := func(p netlist.Pin, side func(logic.V5) logic.V) logic.V {
+		v := side(e.values[t][p.Node])
+		if p.Inv {
+			v = v.Not()
+		}
+		return v
+	}
+	one := func(side func(logic.V5) logic.V) logic.V {
+		q := read3(si.D, side)
+		for _, pt := range si.Ports {
+			en := read3(pt.Enable, side)
+			d := read3(pt.Data, side)
+			switch en {
+			case logic.One:
+				q = d
+			case logic.X:
+				if q != d {
+					q = logic.X
+				}
+			}
+		}
+		if si.HasReset() {
+			switch read3(si.ResetNet, side) {
+			case logic.One:
+				q = logic.Zero
+			case logic.X:
+				if q != logic.Zero {
+					q = logic.X
+				}
+			}
+		}
+		if si.HasSet() {
+			switch read3(si.SetNet, side) {
+			case logic.One:
+				q = logic.One
+			case logic.X:
+				if q != logic.One {
+					q = logic.X
+				}
+			}
+		}
+		return q
+	}
+	g := one(logic.V5.Good)
+	f := one(logic.V5.Faulty)
+	if !g.Known() || !f.Known() {
+		return logic.X5
+	}
+	return logic.Compose(g, f)
+}
+
+// assignPI applies a decision or implication on a primary input.
+func (e *expanded) assignPI(at fnode, v logic.V) bool {
+	val := logic.Compose(v, v)
+	if at.n == e.f.Node {
+		val = logic.Compose(v, e.f.Stuck)
+	}
+	if !e.assign(at, val) {
+		return false
+	}
+	return e.settle()
+}
+
+// mark returns the current trail position for later rollback.
+func (e *expanded) mark() int { return len(e.trail) }
+
+// rollback undoes trail entries past the mark and clears conflict state.
+func (e *expanded) rollback(mark int) {
+	for i := len(e.trail) - 1; i >= mark; i-- {
+		te := e.trail[i]
+		if te.forbBit != 0 {
+			e.forb[te.at.t][te.at.n] &^= te.forbBit
+		} else {
+			if e.values[te.at.t][te.at.n].Faulted() {
+				e.dCount--
+			}
+			e.values[te.at.t][te.at.n] = logic.X5
+		}
+	}
+	e.trail = e.trail[:mark]
+	e.conflict = false
+	for at := range e.inQueue {
+		delete(e.inQueue, at)
+	}
+	e.queue = e.queue[:0]
+}
+
+// detected reports whether a fault effect has reached a primary output.
+func (e *expanded) detected() bool {
+	for t := 0; t < e.w; t++ {
+		for _, po := range e.c.POs {
+			if e.values[t][po.Pin.Node].Faulted() {
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,296 @@
+// Package bench reads and writes sequential circuits in an extended
+// ISCAS-89 ".bench" format.
+//
+// The classic format:
+//
+//	# comment
+//	INPUT(I1)
+//	OUTPUT(O1)
+//	F1 = DFF(G9)
+//	G3 = AND(I1, G2)
+//	G2 = NOT(I1)
+//
+// Extensions (all backward compatible):
+//
+//   - Inverted pins: a leading "!" on an operand, e.g. G3 = AND(I1, !I1),
+//     avoids materializing inverter gates.
+//   - Clock domains and phases: F1 = DFF(G9) @clk0:1 places F1 in clock
+//     domain 0, phase 1 (default @clk0:0).
+//   - Latches: F2 = LATCH(G4) with the same clock annotation.
+//   - Asynchronous set/reset: SET(F1, net) and RESET(F1, net) lines.
+//   - Multi-port latches: PORT(F2, enableNet, dataNet) lines.
+//   - Constants: G5 = CONST0() / CONST1().
+//
+// Type checking and cycle detection are inherited from the netlist builder.
+package bench
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/logic"
+	"repro/internal/netlist"
+)
+
+// Parse reads a circuit in extended .bench format.
+func Parse(name string, r io.Reader) (*netlist.Circuit, error) {
+	b := netlist.NewBuilder(name)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = strings.TrimSpace(line[:i])
+		}
+		if line == "" {
+			continue
+		}
+		if err := parseLine(b, line); err != nil {
+			return nil, fmt.Errorf("bench: line %d: %w", lineNo, err)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("bench: %w", err)
+	}
+	return b.Build()
+}
+
+func parseLine(b *netlist.Builder, line string) error {
+	// Directive forms: INPUT(x), OUTPUT(x), SET(ff, net), RESET(ff, net),
+	// PORT(ff, en, d).
+	if head, args, ok := callForm(line); ok {
+		switch strings.ToUpper(head) {
+		case "INPUT":
+			if len(args) != 1 {
+				return fmt.Errorf("INPUT takes one name")
+			}
+			b.PI(args[0])
+			return nil
+		case "OUTPUT":
+			if len(args) != 1 {
+				return fmt.Errorf("OUTPUT takes one name")
+			}
+			ref, err := pinRef(args[0])
+			if err != nil {
+				return err
+			}
+			b.PO("out_"+strings.TrimPrefix(args[0], "!"), ref)
+			return nil
+		case "SET", "RESET", "PORT":
+			return parseSeqDirective(b, strings.ToUpper(head), args)
+		}
+	}
+
+	// Assignment form: name = OP(args...) [@clkD:P]
+	eq := strings.IndexByte(line, '=')
+	if eq < 0 {
+		return fmt.Errorf("unrecognized line %q", line)
+	}
+	name := strings.TrimSpace(line[:eq])
+	rhs := strings.TrimSpace(line[eq+1:])
+
+	clk := netlist.Clock{}
+	if at := strings.LastIndexByte(rhs, '@'); at >= 0 {
+		ann := strings.TrimSpace(rhs[at+1:])
+		rhs = strings.TrimSpace(rhs[:at])
+		var err error
+		clk, err = parseClock(ann)
+		if err != nil {
+			return err
+		}
+	}
+
+	head, args, ok := callForm(rhs)
+	if !ok {
+		return fmt.Errorf("bad right-hand side %q", rhs)
+	}
+	opName := strings.ToUpper(head)
+	switch opName {
+	case "DFF", "LATCH":
+		if len(args) != 1 {
+			return fmt.Errorf("%s takes one input", opName)
+		}
+		ref, err := pinRef(args[0])
+		if err != nil {
+			return err
+		}
+		if opName == "DFF" {
+			b.DFF(name, ref, clk)
+		} else {
+			b.Latch(name, ref, clk)
+		}
+		return nil
+	}
+	op, ok := logic.ParseOp(opName)
+	if !ok {
+		return fmt.Errorf("unknown gate type %q", head)
+	}
+	refs := make([]netlist.Ref, 0, len(args))
+	for _, a := range args {
+		ref, err := pinRef(a)
+		if err != nil {
+			return err
+		}
+		refs = append(refs, ref)
+	}
+	b.Gate(name, op, refs...)
+	return nil
+}
+
+func parseSeqDirective(b *netlist.Builder, head string, args []string) error {
+	switch head {
+	case "SET", "RESET":
+		if len(args) != 2 {
+			return fmt.Errorf("%s takes (ff, net)", head)
+		}
+		ref, err := pinRef(args[1])
+		if err != nil {
+			return err
+		}
+		if head == "SET" {
+			b.SetNet(args[0], ref)
+		} else {
+			b.ResetNet(args[0], ref)
+		}
+	case "PORT":
+		if len(args) != 3 {
+			return fmt.Errorf("PORT takes (ff, enable, data)")
+		}
+		en, err := pinRef(args[1])
+		if err != nil {
+			return err
+		}
+		d, err := pinRef(args[2])
+		if err != nil {
+			return err
+		}
+		b.AddPort(args[0], en, d)
+	}
+	return nil
+}
+
+// callForm parses "HEAD(a, b, c)" into head and args.
+func callForm(s string) (head string, args []string, ok bool) {
+	open := strings.IndexByte(s, '(')
+	if open < 0 || !strings.HasSuffix(s, ")") {
+		return "", nil, false
+	}
+	head = strings.TrimSpace(s[:open])
+	if head == "" || strings.ContainsAny(head, " \t") {
+		return "", nil, false
+	}
+	inner := strings.TrimSpace(s[open+1 : len(s)-1])
+	if inner == "" {
+		return head, nil, true
+	}
+	parts := strings.Split(inner, ",")
+	args = make([]string, 0, len(parts))
+	for _, p := range parts {
+		p = strings.TrimSpace(p)
+		if p == "" {
+			return "", nil, false
+		}
+		args = append(args, p)
+	}
+	return head, args, true
+}
+
+func pinRef(s string) (netlist.Ref, error) {
+	inv := false
+	for strings.HasPrefix(s, "!") {
+		inv = !inv
+		s = strings.TrimSpace(s[1:])
+	}
+	if s == "" {
+		return netlist.P(""), fmt.Errorf("empty net reference")
+	}
+	if inv {
+		return netlist.N(s), nil
+	}
+	return netlist.P(s), nil
+}
+
+func parseClock(ann string) (netlist.Clock, error) {
+	if !strings.HasPrefix(ann, "clk") {
+		return netlist.Clock{}, fmt.Errorf("bad clock annotation %q", ann)
+	}
+	rest := ann[3:]
+	dom, phase := rest, "0"
+	if i := strings.IndexByte(rest, ':'); i >= 0 {
+		dom, phase = rest[:i], rest[i+1:]
+	}
+	d, err := strconv.Atoi(dom)
+	if err != nil {
+		return netlist.Clock{}, fmt.Errorf("bad clock domain in %q", ann)
+	}
+	p, err := strconv.Atoi(phase)
+	if err != nil {
+		return netlist.Clock{}, fmt.Errorf("bad clock phase in %q", ann)
+	}
+	return netlist.Clock{Domain: int32(d), Phase: int8(p)}, nil
+}
+
+// Write renders the circuit in the extended .bench format. Nodes are
+// written in a stable order: inputs, outputs, then definitions in id order.
+func Write(w io.Writer, c *netlist.Circuit) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "# %s: %s\n", c.Name, c.Stats())
+	for _, id := range c.PIs {
+		fmt.Fprintf(bw, "INPUT(%s)\n", c.NameOf(id))
+	}
+	for _, po := range c.POs {
+		fmt.Fprintf(bw, "OUTPUT(%s)\n", pinString(c, po.Pin))
+	}
+	for id := range c.Nodes {
+		n := &c.Nodes[id]
+		switch n.Kind {
+		case netlist.KindGate:
+			args := make([]string, 0, 4)
+			for _, p := range c.Fanin(netlist.NodeID(id)) {
+				args = append(args, pinString(c, p))
+			}
+			fmt.Fprintf(bw, "%s = %s(%s)\n", n.Name, n.Op, strings.Join(args, ", "))
+		case netlist.KindDFF, netlist.KindLatch:
+			kw := "DFF"
+			if n.Kind == netlist.KindLatch {
+				kw = "LATCH"
+			}
+			fmt.Fprintf(bw, "%s = %s(%s) @clk%d:%d\n",
+				n.Name, kw, pinString(c, n.Seq.D), n.Seq.Clock.Domain, n.Seq.Clock.Phase)
+		}
+	}
+	// Set/reset and ports after all definitions.
+	var extras []string
+	for _, id := range c.Seqs {
+		si := c.Nodes[id].Seq
+		name := c.NameOf(id)
+		if si.HasSet() {
+			extras = append(extras, fmt.Sprintf("SET(%s, %s)", name, pinString(c, si.SetNet)))
+		}
+		if si.HasReset() {
+			extras = append(extras, fmt.Sprintf("RESET(%s, %s)", name, pinString(c, si.ResetNet)))
+		}
+		for _, pt := range si.Ports {
+			extras = append(extras, fmt.Sprintf("PORT(%s, %s, %s)",
+				name, pinString(c, pt.Enable), pinString(c, pt.Data)))
+		}
+	}
+	sort.Strings(extras)
+	for _, e := range extras {
+		fmt.Fprintln(bw, e)
+	}
+	return bw.Flush()
+}
+
+func pinString(c *netlist.Circuit, p netlist.Pin) string {
+	if p.Inv {
+		return "!" + c.NameOf(p.Node)
+	}
+	return c.NameOf(p.Node)
+}

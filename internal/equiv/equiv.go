@@ -1,0 +1,304 @@
+// Package equiv identifies combinationally equivalent gates by parallel
+// random pattern simulation (paper Section 3.1), with learned tied gates
+// folded in as constants — the fold is what makes G2 ≡ G4 detectable in the
+// paper's Figure 1.
+//
+// Signature matching only yields candidates; every candidate class is
+// verified exactly by exhaustive cone enumeration over its input support
+// (bounded), so the equivalences handed to the learner are sound. Classes
+// whose support exceeds the bound are dropped rather than trusted, because
+// an unsound equivalence would corrupt every relation learned through it.
+package equiv
+
+import (
+	"sort"
+
+	"repro/internal/logic"
+	"repro/internal/netlist"
+	"repro/internal/sim"
+)
+
+// Options tunes equivalence identification.
+type Options struct {
+	// Rounds of 64 random patterns for signature computation (default 8).
+	Rounds int
+	// MaxSupport bounds exhaustive verification (default 14 inputs).
+	MaxSupport int
+	// MaxClass bounds the size of a candidate class considered for
+	// verification (default 32); larger classes are dropped.
+	MaxClass int
+	// Seed for the deterministic pattern generator.
+	Seed uint64
+	// IncludeComplement also links gates that are complements of each
+	// other (an extension beyond the paper's direct equivalence).
+	IncludeComplement bool
+}
+
+func (o *Options) defaults() {
+	if o.Rounds <= 0 {
+		o.Rounds = 8
+	}
+	if o.MaxSupport <= 0 {
+		o.MaxSupport = 14
+	}
+	if o.MaxClass <= 0 {
+		o.MaxClass = 32
+	}
+	if o.Seed == 0 {
+		o.Seed = 0x5eed
+	}
+}
+
+// Class is a verified equivalence class: every member equals the
+// representative (possibly complemented when Inv is set).
+type Class struct {
+	Rep     netlist.NodeID
+	Members []Member
+}
+
+// Member is one gate of a class with its polarity relative to the
+// representative.
+type Member struct {
+	Node netlist.NodeID
+	Inv  bool
+}
+
+// Result holds verified equivalence classes and the partner map consumed by
+// the scheduled simulator.
+type Result struct {
+	Classes []Class
+
+	// Partners is wired as a star around each representative, so that one
+	// known member propagates to the whole class through the simulator's
+	// recursive assignment.
+	Partners map[netlist.NodeID][]sim.EqPartner
+}
+
+// Find identifies verified equivalence classes among combinational gates.
+func Find(c *netlist.Circuit, ties map[netlist.NodeID]logic.V, opt Options) *Result {
+	opt.defaults()
+	ps := sim.NewPatternSim(c)
+	r := logic.NewRand64(opt.Seed)
+
+	sig := make([]uint64, c.NumNodes())
+	sigInv := make([]uint64, c.NumNodes())
+	const prime = 1099511628211
+	for i := range sig {
+		sig[i] = 14695981039346656037
+		sigInv[i] = 14695981039346656037
+	}
+	for round := 0; round < opt.Rounds; round++ {
+		words := ps.Round(r, ties)
+		for id := range words {
+			sig[id] = (sig[id] ^ words[id]) * prime
+			sigInv[id] = (sigInv[id] ^ ^words[id]) * prime
+		}
+	}
+
+	// Group candidate gates by signature.
+	groups := map[uint64][]netlist.NodeID{}
+	for id := range c.Nodes {
+		n := &c.Nodes[id]
+		if n.Kind != netlist.KindGate {
+			continue
+		}
+		if _, tied := ties[netlist.NodeID(id)]; tied {
+			continue
+		}
+		groups[sig[id]] = append(groups[sig[id]], netlist.NodeID(id))
+	}
+
+	res := &Result{Partners: map[netlist.NodeID][]sim.EqPartner{}}
+	var keys []uint64
+	for k, g := range groups {
+		if len(g) > 1 {
+			keys = append(keys, k)
+		}
+	}
+	// Complement candidates: a gate whose inverted signature matches a
+	// group joins it with Inv polarity.
+	invJoin := map[uint64][]netlist.NodeID{}
+	if opt.IncludeComplement {
+		for k := range groups {
+			invJoin[k] = nil
+		}
+		for id := range c.Nodes {
+			n := &c.Nodes[id]
+			if n.Kind != netlist.KindGate {
+				continue
+			}
+			if _, tied := ties[netlist.NodeID(id)]; tied {
+				continue
+			}
+			if g, ok := groups[sigInv[id]]; ok && len(g) > 0 && sigInv[id] != sig[id] {
+				invJoin[sigInv[id]] = append(invJoin[sigInv[id]], netlist.NodeID(id))
+				found := false
+				for _, kk := range keys {
+					if kk == sigInv[id] {
+						found = true
+						break
+					}
+				}
+				if !found && len(g)+len(invJoin[sigInv[id]]) > 1 {
+					keys = append(keys, sigInv[id])
+				}
+			}
+		}
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+
+	verifier := newVerifier(c, ties, opt.MaxSupport)
+	seen := make(map[netlist.NodeID]bool)
+	for _, k := range keys {
+		cand := groups[k]
+		inv := invJoin[k]
+		if len(cand)+len(inv) > opt.MaxClass || len(cand) == 0 {
+			continue
+		}
+		rep := cand[0]
+		if seen[rep] {
+			continue
+		}
+		cls := Class{Rep: rep}
+		for _, m := range cand[1:] {
+			if seen[m] {
+				continue
+			}
+			if verifier.equal(rep, m, false) {
+				cls.Members = append(cls.Members, Member{Node: m})
+				seen[m] = true
+			}
+		}
+		for _, m := range inv {
+			if seen[m] || m == rep {
+				continue
+			}
+			if verifier.equal(rep, m, true) {
+				cls.Members = append(cls.Members, Member{Node: m, Inv: true})
+				seen[m] = true
+			}
+		}
+		if len(cls.Members) == 0 {
+			continue
+		}
+		seen[rep] = true
+		res.Classes = append(res.Classes, cls)
+		for _, m := range cls.Members {
+			res.Partners[cls.Rep] = append(res.Partners[cls.Rep], sim.EqPartner{Node: m.Node, Inv: m.Inv})
+			res.Partners[m.Node] = append(res.Partners[m.Node], sim.EqPartner{Node: cls.Rep, Inv: m.Inv})
+		}
+	}
+	return res
+}
+
+// verifier performs exact cone-based equivalence checks.
+type verifier struct {
+	c          *netlist.Circuit
+	ties       map[netlist.NodeID]logic.V
+	maxSupport int
+
+	words map[netlist.NodeID]uint64
+}
+
+func newVerifier(c *netlist.Circuit, ties map[netlist.NodeID]logic.V, maxSupport int) *verifier {
+	return &verifier{c: c, ties: ties, maxSupport: maxSupport, words: map[netlist.NodeID]uint64{}}
+}
+
+// cone returns the pseudo-input support and a topologically ordered gate
+// list for the union cone of a and b; ok is false if the support exceeds
+// the bound.
+func (v *verifier) cone(a, b netlist.NodeID) (support, order []netlist.NodeID, ok bool) {
+	visited := map[netlist.NodeID]bool{}
+	var gates []netlist.NodeID
+	var walk func(n netlist.NodeID) bool
+	walk = func(n netlist.NodeID) bool {
+		if visited[n] {
+			return true
+		}
+		visited[n] = true
+		if _, tied := v.ties[n]; tied {
+			return true // constant: not part of the support
+		}
+		nd := &v.c.Nodes[n]
+		if nd.Kind != netlist.KindGate {
+			support = append(support, n)
+			if len(support) > v.maxSupport {
+				return false
+			}
+			return true
+		}
+		for _, p := range v.c.Fanin(n) {
+			if !walk(p.Node) {
+				return false
+			}
+		}
+		gates = append(gates, n)
+		return true
+	}
+	if !walk(a) || !walk(b) {
+		return nil, nil, false
+	}
+	// gates is already topologically ordered by the post-order walk.
+	return support, gates, true
+}
+
+// equal exhaustively checks a == b (or a == ¬b when inv) over the cone's
+// support. It returns false when the support is too large to verify.
+func (v *verifier) equal(a, b netlist.NodeID, inv bool) bool {
+	support, order, ok := v.cone(a, b)
+	if !ok {
+		return false
+	}
+	n := len(support)
+	total := uint64(1) << uint(n)
+	for base := uint64(0); base < total; base += logic.W {
+		clear(v.words)
+		// Lane l of this block carries assignment number base+l.
+		for bit, in := range support {
+			var w uint64
+			for l := uint64(0); l < logic.W && base+l < total; l++ {
+				if (base+l)>>uint(bit)&1 == 1 {
+					w |= 1 << l
+				}
+			}
+			v.words[in] = w
+		}
+		for tn, tv := range v.ties {
+			if tv == logic.One {
+				v.words[tn] = ^uint64(0)
+			} else {
+				v.words[tn] = 0
+			}
+		}
+		var buf [16]uint64
+		for _, id := range order {
+			nd := &v.c.Nodes[id]
+			fanin := v.c.Fanin(id)
+			vals := buf[:0]
+			if cap(vals) < len(fanin) {
+				vals = make([]uint64, 0, len(fanin))
+			}
+			for _, p := range fanin {
+				w := v.words[p.Node]
+				if p.Inv {
+					w = ^w
+				}
+				vals = append(vals, w)
+			}
+			v.words[id] = logic.BEvalSlice(nd.Op, vals)
+		}
+		wa, wb := v.words[a], v.words[b]
+		if inv {
+			wb = ^wb
+		}
+		// Only lanes below total are meaningful.
+		mask := ^uint64(0)
+		if total-base < logic.W {
+			mask = (uint64(1) << (total - base)) - 1
+		}
+		if (wa^wb)&mask != 0 {
+			return false
+		}
+	}
+	return true
+}

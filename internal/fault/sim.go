@@ -1,0 +1,267 @@
+package fault
+
+import (
+	"repro/internal/logic"
+	"repro/internal/netlist"
+	"repro/internal/sim"
+)
+
+// Sim is an event-driven sequential fault simulator. It simulates the good
+// machine once per test sequence and, per fault, propagates only the
+// difference cone frame by frame, which is what makes post-ATPG fault
+// dropping affordable.
+//
+// Detection is the standard conservative rule: a fault is detected when
+// some primary output has a known good value and a known, different faulty
+// value in some frame.
+type Sim struct {
+	c *netlist.Circuit
+
+	// Good-machine caches, filled by LoadSequence.
+	vectors   [][]logic.V // PI values per frame
+	goodVals  [][]logic.V // node values per frame
+	goodState [][]logic.V // state per frame boundary (index 0 = initial)
+
+	// Faulty overlay with epoch stamps (no clearing between faults).
+	faulty []logic.V
+	stamp  []uint32
+	cur    uint32
+
+	// Level-bucketed worklist for in-frame propagation.
+	buckets  [][]netlist.NodeID
+	inQueue  []uint32 // stamp when last enqueued
+	maxLevel int
+
+	poOf map[netlist.NodeID][]int // node -> PO indices observing it
+}
+
+// NewSim returns a fault simulator for c.
+func NewSim(c *netlist.Circuit) *Sim {
+	maxLevel := 0
+	for i := range c.Nodes {
+		if l := int(c.Nodes[i].Level); l > maxLevel {
+			maxLevel = l
+		}
+	}
+	s := &Sim{
+		c:        c,
+		faulty:   make([]logic.V, c.NumNodes()),
+		stamp:    make([]uint32, c.NumNodes()),
+		inQueue:  make([]uint32, c.NumNodes()),
+		buckets:  make([][]netlist.NodeID, maxLevel+1),
+		maxLevel: maxLevel,
+		poOf:     map[netlist.NodeID][]int{},
+	}
+	for i, po := range c.POs {
+		s.poOf[po.Pin.Node] = append(s.poOf[po.Pin.Node], i)
+	}
+	return s
+}
+
+// LoadSequence simulates the good machine over the vectors (PI values per
+// frame) from the given initial state (nil = all X) and caches every frame.
+func (s *Sim) LoadSequence(vectors [][]logic.V, init []logic.V) {
+	s.vectors = vectors
+	s.goodVals = s.goodVals[:0]
+	s.goodState = s.goodState[:0]
+	f := sim.NewFuncSim(s.c)
+	f.Reset(init)
+	st0 := append([]logic.V(nil), f.State()...)
+	s.goodState = append(s.goodState, st0)
+	for _, vec := range vectors {
+		f.Step(vec)
+		vals := make([]logic.V, s.c.NumNodes())
+		for id := range vals {
+			vals[id] = f.Value(netlist.NodeID(id))
+		}
+		s.goodVals = append(s.goodVals, vals)
+		s.goodState = append(s.goodState, append([]logic.V(nil), f.State()...))
+	}
+}
+
+// Frames returns the number of loaded frames.
+func (s *Sim) Frames() int { return len(s.goodVals) }
+
+// GoodValue returns the good-machine value of node n in frame t.
+func (s *Sim) GoodValue(t int, n netlist.NodeID) logic.V { return s.goodVals[t][n] }
+
+// faultyVal reads the faulty value of n in the current frame overlay.
+func (s *Sim) faultyVal(t int, n netlist.NodeID) logic.V {
+	if s.stamp[n] == s.cur {
+		return s.faulty[n]
+	}
+	return s.goodVals[t][n]
+}
+
+func (s *Sim) faultyPin(t int, p netlist.Pin) logic.V {
+	v := s.faultyVal(t, p.Node)
+	if p.Inv {
+		v = v.Not()
+	}
+	return v
+}
+
+// setFaulty records a faulty value and schedules fanout evaluation.
+func (s *Sim) setFaulty(t int, n netlist.NodeID, v logic.V) {
+	if s.stamp[n] == s.cur && s.faulty[n] == v {
+		return
+	}
+	s.stamp[n] = s.cur
+	s.faulty[n] = v
+	for _, out := range s.c.Fanouts(n) {
+		nd := &s.c.Nodes[out]
+		if nd.Kind == netlist.KindGate && s.inQueue[out] != s.cur {
+			s.inQueue[out] = s.cur
+			s.buckets[nd.Level] = append(s.buckets[nd.Level], out)
+		}
+	}
+}
+
+// Detects simulates fault f against the loaded sequence and reports the
+// first detecting frame.
+func (s *Sim) Detects(f Fault) (bool, int) {
+	// Sparse faulty state diff carried across frames: index into c.Seqs.
+	stateDiff := map[int]logic.V{}
+
+	for t := range s.vectors {
+		s.cur++
+		for b := range s.buckets {
+			s.buckets[b] = s.buckets[b][:0]
+		}
+
+		// Seed: carried state differences.
+		for i, v := range stateDiff {
+			s.setFaulty(t, s.c.Seqs[i], v)
+		}
+		// Seed: the fault site is forced every frame.
+		s.setFaulty(t, f.Node, f.Stuck)
+
+		// Propagate by level.
+		for lvl := 0; lvl <= s.maxLevel; lvl++ {
+			for qi := 0; qi < len(s.buckets[lvl]); qi++ {
+				n := s.buckets[lvl][qi]
+				if n == f.Node {
+					continue // forced
+				}
+				nd := &s.c.Nodes[n]
+				var buf [16]logic.V
+				fanin := s.c.Fanin(n)
+				vals := buf[:0]
+				if cap(vals) < len(fanin) {
+					vals = make([]logic.V, 0, len(fanin))
+				}
+				for _, p := range fanin {
+					vals = append(vals, s.faultyPin(t, p))
+				}
+				v := logic.EvalSlice(nd.Op, vals)
+				s.setFaulty(t, n, v)
+			}
+		}
+
+		// Detection at primary outputs.
+		for _, po := range s.c.POs {
+			if s.stamp[po.Pin.Node] != s.cur {
+				continue
+			}
+			g := s.goodVals[t][po.Pin.Node]
+			fv := s.faulty[po.Pin.Node]
+			if g.Known() && fv.Known() && g != fv {
+				return true, t
+			}
+		}
+
+		// Next faulty state: recompute capture for every element whose
+		// input cone was touched, plus keep the fault forced on a faulted
+		// element.
+		newDiff := map[int]logic.V{}
+		for i, id := range s.c.Seqs {
+			gv := s.goodState[t+1][i]
+			var fv logic.V
+			if id == f.Node {
+				fv = f.Stuck
+			} else if !s.captureTouched(id) {
+				continue // inputs identical to good machine: no diff
+			} else {
+				fv = s.captureFaulty(t, id)
+			}
+			if fv != gv {
+				newDiff[i] = fv
+			}
+		}
+		stateDiff = newDiff
+	}
+	return false, -1
+}
+
+// captureTouched reports whether any input pin of the element carries a
+// faulty overlay value this frame.
+func (s *Sim) captureTouched(id netlist.NodeID) bool {
+	si := s.c.Nodes[id].Seq
+	if s.stamp[si.D.Node] == s.cur {
+		return true
+	}
+	if si.HasSet() && s.stamp[si.SetNet.Node] == s.cur {
+		return true
+	}
+	if si.HasReset() && s.stamp[si.ResetNet.Node] == s.cur {
+		return true
+	}
+	for _, pt := range si.Ports {
+		if s.stamp[pt.Enable.Node] == s.cur || s.stamp[pt.Data.Node] == s.cur {
+			return true
+		}
+	}
+	return false
+}
+
+// captureFaulty mirrors FuncSim's capture semantics over the faulty
+// overlay.
+func (s *Sim) captureFaulty(t int, id netlist.NodeID) logic.V {
+	si := s.c.Nodes[id].Seq
+	q := s.faultyPin(t, si.D)
+	for _, pt := range si.Ports {
+		en := s.faultyPin(t, pt.Enable)
+		d := s.faultyPin(t, pt.Data)
+		switch en {
+		case logic.One:
+			q = d
+		case logic.X:
+			if q != d {
+				q = logic.X
+			}
+		}
+	}
+	if si.HasReset() {
+		switch s.faultyPin(t, si.ResetNet) {
+		case logic.One:
+			q = logic.Zero
+		case logic.X:
+			if q != logic.Zero {
+				q = logic.X
+			}
+		}
+	}
+	if si.HasSet() {
+		switch s.faultyPin(t, si.SetNet) {
+		case logic.One:
+			q = logic.One
+		case logic.X:
+			if q != logic.One {
+				q = logic.X
+			}
+		}
+	}
+	return q
+}
+
+// RunAll simulates every fault in faults against the loaded sequence and
+// returns the detected ones.
+func (s *Sim) RunAll(faults []Fault) []Fault {
+	var detected []Fault
+	for _, f := range faults {
+		if ok, _ := s.Detects(f); ok {
+			detected = append(detected, f)
+		}
+	}
+	return detected
+}

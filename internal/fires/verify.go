@@ -1,0 +1,45 @@
+package fires
+
+import (
+	"repro/internal/fault"
+	"repro/internal/logic"
+	"repro/internal/netlist"
+)
+
+// Verify replays random test sequences against every fault in res and
+// removes any that is detected, returning how many were removed. A sound
+// analysis never has anything removed — the test suite asserts exactly
+// that — so this filter is a guard rail for the known theoretical caveat
+// of constant-side-input blocking (see package comment), not a working
+// part of the algorithm.
+func Verify(c *netlist.Circuit, res *Result, seed uint64, sequences, frames int) int {
+	if len(res.Untestable) == 0 {
+		return 0
+	}
+	r := logic.NewRand64(seed)
+	s := fault.NewSim(c)
+	alive := res.Untestable
+	removed := 0
+	for q := 0; q < sequences; q++ {
+		vectors := make([][]logic.V, frames)
+		for t := range vectors {
+			vec := make([]logic.V, len(c.PIs))
+			for i := range vec {
+				vec[i] = logic.FromBool(r.Bool())
+			}
+			vectors[t] = vec
+		}
+		s.LoadSequence(vectors, nil)
+		keep := alive[:0]
+		for _, f := range alive {
+			if ok, _ := s.Detects(f); ok {
+				removed++
+				continue
+			}
+			keep = append(keep, f)
+		}
+		alive = keep
+	}
+	res.Untestable = alive
+	return removed
+}

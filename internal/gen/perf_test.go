@@ -1,0 +1,30 @@
+package gen
+
+import (
+	"os"
+	"testing"
+	"time"
+
+	"repro/internal/learn"
+)
+
+// TestPerfIndustrial measures learning on the large industrial stand-ins.
+// It is opt-in (set SEQLEARN_PERF=1) because it takes minutes.
+func TestPerfIndustrial(t *testing.T) {
+	if os.Getenv("SEQLEARN_PERF") == "" {
+		t.Skip("set SEQLEARN_PERF=1 to run")
+	}
+	name := os.Getenv("SEQLEARN_PERF_CIRCUIT")
+	if name == "" {
+		name = "indust2"
+	}
+	t0 := time.Now()
+	c := MustBuild(name)
+	tGen := time.Since(t0)
+	t0 = time.Now()
+	lr := learn.Learn(c, learn.Options{SkipComb: true})
+	tLearn := time.Since(t0)
+	ffff, gateFF, _ := lr.DB.Counts(true)
+	t.Logf("%s: gen=%v learn=%v stems=%d sims=%d targets=%d FFFF=%d GateFF=%d ties=%d",
+		name, tGen, tLearn, lr.Stats.Stems, lr.Stats.Sims, lr.Stats.Targets, ffff, gateFF, len(lr.Ties))
+}

@@ -1,0 +1,188 @@
+package gen
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/logic"
+	"repro/internal/netlist"
+	"repro/internal/sim"
+)
+
+// Retime applies up to moves backward retiming steps to c and returns the
+// transformed circuit. A step picks a flip-flop f whose D input is a
+// combinational gate g feeding only f, removes f, inserts a new flip-flop
+// on every input of g, and re-reads g's output where f was read:
+//
+//	f = DFF(g(a, b))   →   fa = DFF(a); fb = DFF(b); g(fa, fb)
+//
+// The transformation preserves sequential behavior (it pipelines g's
+// inputs by the same one cycle) but replaces one state bit by arity-many
+// bits whose joint values are constrained — exactly how retiming lowers
+// the density of encoding and creates the invalid states that the paper's
+// retimed benchmarks suffer from (reference [16] of the paper).
+func Retime(c *netlist.Circuit, moves int, seed uint64) *netlist.Circuit {
+	r := logic.NewRand64(seed)
+
+	type gateDesc struct {
+		op    logic.Op
+		pins  []netlist.Pin  // original pins; overridden by newIn
+		newIn map[int]string // pin index -> freshly created FF name
+	}
+	type seqDesc struct {
+		d   netlist.Pin
+		clk netlist.Clock
+	}
+	gates := map[netlist.NodeID]*gateDesc{}
+	seqs := map[netlist.NodeID]*seqDesc{}
+	for id := range c.Nodes {
+		n := &c.Nodes[id]
+		switch n.Kind {
+		case netlist.KindGate:
+			gates[netlist.NodeID(id)] = &gateDesc{
+				op:    n.Op,
+				pins:  append([]netlist.Pin(nil), c.Fanin(netlist.NodeID(id))...),
+				newIn: map[int]string{},
+			}
+		case netlist.KindDFF:
+			seqs[netlist.NodeID(id)] = &seqDesc{d: n.Seq.D, clk: n.Seq.Clock}
+		}
+	}
+
+	// redirect maps a removed flip-flop to the pin now read in its place.
+	redirect := map[netlist.NodeID]netlist.Pin{}
+	resolve := func(p netlist.Pin) netlist.Pin {
+		for {
+			rd, ok := redirect[p.Node]
+			if !ok {
+				return p
+			}
+			p = netlist.Pin{Node: rd.Node, Inv: p.Inv != rd.Inv}
+		}
+	}
+
+	type newFF struct {
+		name string
+		d    netlist.Pin
+		clk  netlist.Clock
+	}
+	var created []newFF
+
+	candidates := func() []netlist.NodeID {
+		var out []netlist.NodeID
+		for id, sd := range seqs {
+			g := sd.d.Node
+			if sd.d.Inv {
+				continue
+			}
+			gd, isGate := gates[g]
+			// Arity-2 gates only: each move then adds exactly one state
+			// bit, which lets Build hit FF targets exactly.
+			if !isGate || len(gd.pins) != 2 || c.FanoutCount(g) != 1 {
+				continue
+			}
+			if len(gd.newIn) > 0 {
+				continue // already retimed once; keep moves independent
+			}
+			out = append(out, id)
+		}
+		sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+		return out
+	}
+
+	for done, id := 0, 0; done < moves; done++ {
+		cand := candidates()
+		if len(cand) == 0 {
+			break
+		}
+		pick := cand[r.Intn(len(cand))]
+		sd := seqs[pick]
+		g := sd.d.Node
+		gd := gates[g]
+		for i, p := range gd.pins {
+			name := fmt.Sprintf("rt%d_%d", id, i)
+			created = append(created, newFF{name: name, d: p, clk: sd.clk})
+			gd.newIn[i] = name
+		}
+		delete(seqs, pick)
+		redirect[pick] = netlist.Pin{Node: g}
+		id++
+	}
+
+	// Rebuild in the original node order for determinism.
+	b := netlist.NewBuilder(c.Name + "r")
+	for _, id := range c.PIs {
+		b.PI(c.NameOf(id))
+	}
+	ref := func(p netlist.Pin) netlist.Ref {
+		p = resolve(p)
+		if p.Inv {
+			return netlist.N(c.NameOf(p.Node))
+		}
+		return netlist.P(c.NameOf(p.Node))
+	}
+	for id := range c.Nodes {
+		n := &c.Nodes[id]
+		switch n.Kind {
+		case netlist.KindGate:
+			gd := gates[netlist.NodeID(id)]
+			refs := make([]netlist.Ref, len(gd.pins))
+			for i, p := range gd.pins {
+				if name, ok := gd.newIn[i]; ok {
+					refs[i] = netlist.P(name)
+				} else {
+					refs[i] = ref(p)
+				}
+			}
+			b.Gate(n.Name, gd.op, refs...)
+		case netlist.KindDFF:
+			sd, alive := seqs[netlist.NodeID(id)]
+			if !alive {
+				continue
+			}
+			b.DFF(n.Name, ref(sd.d), sd.clk)
+		}
+	}
+	for _, nf := range created {
+		b.DFF(nf.name, ref(nf.d), nf.clk)
+	}
+	for _, po := range c.POs {
+		b.PO(po.Name, ref(po.Pin))
+	}
+	out, err := b.Build()
+	if err != nil {
+		panic("gen: retime: " + err.Error())
+	}
+	return out
+}
+
+// DensityProxy estimates relative density of encoding by counting the
+// distinct sequential states visited over random binary walks from the
+// all-zero state (an operational proxy for the valid-state count of
+// reference [9] of the paper; comparable across circuits with the same
+// walk budget).
+func DensityProxy(c *netlist.Circuit, seed uint64, walks, frames int) int {
+	r := logic.NewRand64(seed)
+	f := sim.NewFuncSim(c)
+	seen := map[string]bool{}
+	for w := 0; w < walks; w++ {
+		init := make([]logic.V, len(c.Seqs))
+		for i := range init {
+			init[i] = logic.Zero
+		}
+		f.Reset(init)
+		for t := 0; t < frames; t++ {
+			pis := make([]logic.V, len(c.PIs))
+			for i := range pis {
+				pis[i] = logic.FromBool(r.Bool())
+			}
+			f.Step(pis)
+			key := make([]byte, len(c.Seqs))
+			for i, v := range f.State() {
+				key[i] = byte(v)
+			}
+			seen[string(key)] = true
+		}
+	}
+	return len(seen)
+}

@@ -1,0 +1,106 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/atpg"
+)
+
+func TestTable1Output(t *testing.T) {
+	var sb strings.Builder
+	if err := Table1(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"I2=1", "G6=0, G9=1, G10=1, G11=1", "F3=1", "G5=1, G6=0, G11=1, G15=0",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table 1 output missing %q", want)
+		}
+	}
+}
+
+func TestTable2Output(t *testing.T) {
+	var sb strings.Builder
+	if err := Table2(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if strings.Count(out, "single-node") != 4 {
+		t.Errorf("table 2 single-node rows != 4:\n%s", out)
+	}
+	if strings.Count(out, "multiple-node") != 10 {
+		t.Errorf("table 2 multiple-node rows != 10:\n%s", out)
+	}
+}
+
+func TestTable3Quick(t *testing.T) {
+	var sb strings.Builder
+	rows, err := Table3(&sb, 450)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) < 5 {
+		t.Fatalf("too few rows: %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.FFFF == 0 && r.GateFF == 0 {
+			t.Errorf("%s: nothing learned", r.Entry.Name)
+		}
+	}
+}
+
+func TestTable4Quick(t *testing.T) {
+	var sb strings.Builder
+	rows, err := Table4(&sb, 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) == 0 {
+		t.Fatal("no rows")
+	}
+	for _, r := range rows {
+		if r.TieCount == 0 {
+			t.Errorf("%s: no tie-based untestables", r.Name)
+		}
+	}
+}
+
+func TestTable5Quick(t *testing.T) {
+	var sb strings.Builder
+	cells, err := Table5(&sb, Table5Options{
+		Circuits:  []string{"s510jcsrre"},
+		Limits:    []int{30},
+		MaxFaults: 80,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != 3 {
+		t.Fatalf("cells = %d, want 3 modes", len(cells))
+	}
+	// Learning modes must detect at least as many faults as the baseline
+	// and prove at least as many untestable (the paper's Table 5 shape).
+	byMode := map[atpg.Mode]Table5Cell{}
+	for _, c := range cells {
+		byMode[c.Mode] = c
+	}
+	base := byMode[atpg.ModeNoLearning]
+	for _, m := range []atpg.Mode{atpg.ModeForbidden, atpg.ModeKnown} {
+		if byMode[m].Detected+byMode[m].Untestable < base.Detected+base.Untestable {
+			t.Errorf("mode %v resolves fewer faults than baseline: %+v vs %+v", m, byMode[m], base)
+		}
+	}
+}
+
+func TestFigure2DemoOutput(t *testing.T) {
+	var sb strings.Builder
+	if err := Figure2Demo(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "G9=0 -> F2=0: true") {
+		t.Errorf("figure 2 demo missing the learned relation:\n%s", sb.String())
+	}
+}

@@ -1,0 +1,298 @@
+// Package imply stores learned implication relations.
+//
+// A relation "A=va at frame t implies B=vb at frame t+dt" is written
+// A ⟹ B with displacement dt. By the contrapositive law it is the same
+// fact as ¬B ⟹ ¬A with displacement -dt, so the database canonicalizes
+// every relation before storing it and deduplicates across contrapositive
+// forms — exactly the convention the paper uses when it reports, e.g.,
+// F6=1→F4=0 once rather than together with F4=1→F6=0.
+//
+// Same-frame (dt == 0) relations between sequential elements are
+// *invalid-state relations*: A ∧ ¬B is an unreachable state pattern.
+package imply
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/internal/logic"
+	"repro/internal/netlist"
+)
+
+// Lit is a literal: a node carrying a known value (0 or 1).
+type Lit struct {
+	Node netlist.NodeID
+	Val  logic.V
+}
+
+// Not returns the complemented literal.
+func (l Lit) Not() Lit { return Lit{Node: l.Node, Val: l.Val.Not()} }
+
+// less orders literals by (node, value).
+func (l Lit) less(o Lit) bool {
+	if l.Node != o.Node {
+		return l.Node < o.Node
+	}
+	return l.Val < o.Val
+}
+
+// Relation is a canonicalized implication A ⟹ B with frame displacement Dt:
+// A at frame t implies B at frame t+Dt.
+type Relation struct {
+	A, B Lit
+	Dt   int16
+}
+
+// contrapositive returns the equivalent flipped relation.
+func (r Relation) contrapositive() Relation {
+	return Relation{A: r.B.Not(), B: r.A.Not(), Dt: -r.Dt}
+}
+
+// canonical returns the preferred form among r and its contrapositive:
+// positive displacement first, then lexicographic literal order.
+func (r Relation) canonical() Relation {
+	c := r.contrapositive()
+	switch {
+	case r.Dt > c.Dt:
+		return r
+	case c.Dt > r.Dt:
+		return c
+	case r.A.less(c.A) || (r.A == c.A && !c.B.less(r.B)):
+		return r
+	default:
+		return c
+	}
+}
+
+// Kind classifies a relation by its endpoints.
+type Kind uint8
+
+// Relation kinds as counted in the paper's Table 3.
+const (
+	FFFF     Kind = iota // both endpoints sequential elements
+	GateFF               // exactly one endpoint sequential
+	GateGate             // no sequential endpoint
+)
+
+// DB is a deduplicating store of learned relations for one circuit. Every
+// relation carries a flag recording whether it is derivable in the
+// combinational logic alone (frame 0, no crossing of sequential elements);
+// the paper's Table 3 reports only the relations that are *not* (what only
+// sequential learning can extract), and the ATPG's no-sequential-learning
+// baseline uses only the ones that are.
+type DB struct {
+	c   *netlist.Circuit
+	set map[Relation]relMeta
+
+	// sameFrame maps a literal to the literals it implies in the same
+	// frame (both stored direction and contrapositive), for consumption
+	// by the test generator.
+	sameFrame map[Lit][]Lit
+}
+
+// NewDB returns an empty relation database for c.
+func NewDB(c *netlist.Circuit) *DB {
+	return &DB{
+		c:         c,
+		set:       make(map[Relation]relMeta),
+		sameFrame: make(map[Lit][]Lit),
+	}
+}
+
+// Circuit returns the owning circuit.
+func (db *DB) Circuit() *netlist.Circuit { return db.c }
+
+// relMeta carries per-relation bookkeeping: whether the relation is
+// derivable in the combinational frame, and the history depth needed for it
+// to hold (a relation derived across k frames is valid only at frames >= k
+// of any execution).
+type relMeta struct {
+	comb  bool
+	depth int16
+}
+
+// Add inserts the relation a ⟹ b with displacement dt; comb marks it as
+// derivable in the combinational frame, depth the frames of history its
+// derivation used. It reports whether the relation was new. Re-adding an
+// existing relation upgrades the comb flag and keeps the minimum depth.
+// Trivial (a==b) and contradictory (a==¬b, which is a tie, not a relation)
+// inputs are rejected, as are unknown-valued literals.
+func (db *DB) Add(a, b Lit, dt int, comb bool, depth int) bool {
+	if !a.Val.Known() || !b.Val.Known() {
+		return false
+	}
+	if a.Node == b.Node && dt == 0 {
+		return false
+	}
+	r := Relation{A: a, B: b, Dt: int16(dt)}.canonical()
+	if was, dup := db.set[r]; dup {
+		m := was
+		if comb {
+			m.comb = true
+		}
+		if int16(depth) < m.depth {
+			m.depth = int16(depth)
+		}
+		if m != was {
+			db.set[r] = m
+		}
+		return false
+	}
+	db.set[r] = relMeta{comb: comb, depth: int16(depth)}
+	if dt == 0 {
+		db.sameFrame[r.A] = append(db.sameFrame[r.A], r.B)
+		db.sameFrame[r.B.Not()] = append(db.sameFrame[r.B.Not()], r.A.Not())
+	}
+	return true
+}
+
+// IsCombinational reports whether the stored relation is derivable in the
+// combinational frame.
+func (db *DB) IsCombinational(a, b Lit, dt int) bool {
+	r := Relation{A: a, B: b, Dt: int16(dt)}.canonical()
+	return db.set[r].comb
+}
+
+// DepthOf returns the history depth of the stored relation (0 if absent).
+func (db *DB) DepthOf(a, b Lit, dt int) int {
+	r := Relation{A: a, B: b, Dt: int16(dt)}.canonical()
+	return int(db.set[r].depth)
+}
+
+// Has reports whether the relation (in either form) is present.
+func (db *DB) Has(a, b Lit, dt int) bool {
+	r := Relation{A: a, B: b, Dt: int16(dt)}.canonical()
+	_, ok := db.set[r]
+	return ok
+}
+
+// Len returns the number of stored (canonical) relations.
+func (db *DB) Len() int { return len(db.set) }
+
+// SameFrameImplied returns every literal implied by l within the same
+// frame. The returned slice aliases internal storage.
+func (db *DB) SameFrameImplied(l Lit) []Lit { return db.sameFrame[l] }
+
+// KindOf classifies a relation's endpoints.
+func (db *DB) KindOf(r Relation) Kind {
+	sa := db.c.IsSeq(r.A.Node)
+	sb := db.c.IsSeq(r.B.Node)
+	switch {
+	case sa && sb:
+		return FFFF
+	case sa || sb:
+		return GateFF
+	default:
+		return GateGate
+	}
+}
+
+// Counts tallies same-frame relations by kind. When seqOnly is set, only
+// relations that combinational learning cannot derive are counted — the
+// quantities reported in the paper's Table 3 ("FF-FF" and "Gate-FF"
+// columns: "the relations which can be learned in the combinational logic
+// are excluded").
+func (db *DB) Counts(seqOnly bool) (ffff, gateFF, gateGate int) {
+	for r, m := range db.set {
+		if r.Dt != 0 || (seqOnly && m.comb) {
+			continue
+		}
+		switch db.KindOf(r) {
+		case FFFF:
+			ffff++
+		case GateFF:
+			gateFF++
+		default:
+			gateGate++
+		}
+	}
+	return
+}
+
+// CrossFrame returns the number of stored relations with dt != 0.
+func (db *DB) CrossFrame() int {
+	n := 0
+	for r := range db.set {
+		if r.Dt != 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// Relations returns all stored relations sorted deterministically.
+func (db *DB) Relations() []Relation {
+	out := make([]Relation, 0, len(db.set))
+	for r := range db.set {
+		out = append(out, r)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Dt != b.Dt {
+			return a.Dt < b.Dt
+		}
+		if a.A != b.A {
+			return a.A.less(b.A)
+		}
+		return a.B.less(b.B)
+	})
+	return out
+}
+
+// FormatLit renders a literal like "F6=1".
+func (db *DB) FormatLit(l Lit) string {
+	return fmt.Sprintf("%s=%s", db.c.NameOf(l.Node), l.Val)
+}
+
+// FormatRelation renders a relation like "F6=1 -> F4=0" or, for cross-frame
+// relations, "F6=1 -> F4=0 @+2".
+func (db *DB) FormatRelation(r Relation) string {
+	s := db.FormatLit(r.A) + " -> " + db.FormatLit(r.B)
+	if r.Dt != 0 {
+		s += fmt.Sprintf(" @%+d", r.Dt)
+	}
+	return s
+}
+
+// WriteText dumps all relations, one per line, sorted.
+func (db *DB) WriteText(w io.Writer) error {
+	for _, r := range db.Relations() {
+		if _, err := fmt.Fprintln(w, db.FormatRelation(r)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// HasNamed is a test convenience: it parses "A=1 -> B=0" style strings
+// against node names.
+func (db *DB) HasNamed(aName string, aVal logic.V, bName string, bVal logic.V, dt int) bool {
+	an, ok1 := db.c.Lookup(aName)
+	bn, ok2 := db.c.Lookup(bName)
+	if !ok1 || !ok2 {
+		return false
+	}
+	return db.Has(Lit{an, aVal}, Lit{bn, bVal}, dt)
+}
+
+// InvalidStatePattern is a compact invalid-state description: the
+// simultaneous assignment Lits is unreachable.
+type InvalidStatePattern struct {
+	Lits []Lit
+}
+
+// InvalidStates derives one invalid-state pattern from every same-frame
+// FF-FF relation: A ⟹ B means the pattern {A, ¬B} is invalid (paper
+// Section 3.1: "F6=1 → F4=0 represents the set of invalid states
+// (F4,F6)=(1,1)").
+func (db *DB) InvalidStates() []InvalidStatePattern {
+	var out []InvalidStatePattern
+	for _, r := range db.Relations() {
+		if r.Dt != 0 || db.KindOf(r) != FFFF {
+			continue
+		}
+		out = append(out, InvalidStatePattern{Lits: []Lit{r.A, r.B.Not()}})
+	}
+	return out
+}

@@ -1,0 +1,78 @@
+package imply
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/logic"
+)
+
+// Serialize writes the database in a line-oriented format that Deserialize
+// reads back: one relation per line,
+//
+//	<nameA> <valA> <nameB> <valB> <dt> <comb> <depth>
+//
+// Node names come from the owning circuit, so a serialized database can be
+// reloaded against any circuit with the same node names (e.g. after a
+// process restart, to reuse learning results across ATPG runs).
+func (db *DB) Serialize(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	for _, r := range db.Relations() {
+		m := db.set[r]
+		if _, err := fmt.Fprintf(bw, "%s %s %s %s %d %t %d\n",
+			db.c.NameOf(r.A.Node), r.A.Val,
+			db.c.NameOf(r.B.Node), r.B.Val,
+			r.Dt, m.comb, m.depth); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// Deserialize reads relations written by Serialize into db, resolving
+// names against db's circuit. Unknown node names are an error.
+func (db *DB) Deserialize(r io.Reader) error {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		var nameA, valA, nameB, valB string
+		var dt, depth int
+		var comb bool
+		if _, err := fmt.Sscanf(line, "%s %s %s %s %d %t %d",
+			&nameA, &valA, &nameB, &valB, &dt, &comb, &depth); err != nil {
+			return fmt.Errorf("imply: line %d: %v", lineNo, err)
+		}
+		a, err := db.parseLit(nameA, valA)
+		if err != nil {
+			return fmt.Errorf("imply: line %d: %v", lineNo, err)
+		}
+		b, err := db.parseLit(nameB, valB)
+		if err != nil {
+			return fmt.Errorf("imply: line %d: %v", lineNo, err)
+		}
+		db.Add(a, b, dt, comb, depth)
+	}
+	return sc.Err()
+}
+
+func (db *DB) parseLit(name, val string) (Lit, error) {
+	n, ok := db.c.Lookup(name)
+	if !ok {
+		return Lit{}, fmt.Errorf("unknown node %q", name)
+	}
+	switch val {
+	case "0":
+		return Lit{Node: n, Val: logic.Zero}, nil
+	case "1":
+		return Lit{Node: n, Val: logic.One}, nil
+	}
+	return Lit{}, fmt.Errorf("bad value %q", val)
+}

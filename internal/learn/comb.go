@@ -1,0 +1,259 @@
+package learn
+
+import (
+	"repro/internal/imply"
+	"repro/internal/logic"
+	"repro/internal/netlist"
+)
+
+// Combinational runs classical static combinational learning (SOCRATES
+// style, reference [1] of the paper): for every node and both values it
+// injects the value into a single combinational frame and propagates it
+// forward *and backward* (unique justification) to a fixpoint; everything
+// assigned is an implication of the injection.
+//
+// This is the technique the paper contrasts with: it learns within one time
+// frame only, but — unlike the forward-only sequential sweep — it derives
+// backward implications. The paper's ATPG always uses its results ("all the
+// ATPG experiments performed make use of combinational learning"), and
+// Table 3 excludes everything it can learn, so running it both feeds the
+// no-sequential-learning ATPG baseline and defines the comb/sequential
+// split of the relation database.
+//
+// Relations are added to db with the combinational flag set (upgrading
+// duplicates already learned sequentially); injections that conflict prove
+// combinational ties, which are returned.
+func Combinational(c *netlist.Circuit, db *imply.DB, ties map[netlist.NodeID]logic.V) []Tie {
+	p := newCombProp(c, ties)
+	var newTies []Tie
+
+	for id := range c.Nodes {
+		n := netlist.NodeID(id)
+		kind := c.Nodes[id].Kind
+		if kind == netlist.KindPI {
+			continue // PI injections yield only forward facts already cheap for ATPG
+		}
+		if _, tied := ties[n]; tied {
+			continue
+		}
+		for _, v := range []logic.V{logic.Zero, logic.One} {
+			ok := p.run(n, v)
+			if !ok {
+				// Injection impossible: n is combinationally tied to ¬v.
+				if _, dup := ties[n]; !dup {
+					newTies = append(newTies, Tie{Node: n, Val: v.Not(), Frame: 0})
+				}
+				continue
+			}
+			src := imply.Lit{Node: n, Val: v}
+			for _, m := range p.touched {
+				if m == n {
+					continue
+				}
+				if _, tied := ties[m]; tied {
+					continue
+				}
+				if !c.IsSeq(n) && !c.IsSeq(m) {
+					continue
+				}
+				db.Add(src, imply.Lit{Node: m, Val: p.values[m]}, 0, true, 0)
+			}
+		}
+	}
+	return newTies
+}
+
+// combProp is a single-frame forward+backward implication engine.
+type combProp struct {
+	c        *netlist.Circuit
+	ties     map[netlist.NodeID]logic.V
+	values   []logic.V
+	touched  []netlist.NodeID
+	queue    []netlist.NodeID
+	inQueue  []bool
+	conflict bool
+}
+
+func newCombProp(c *netlist.Circuit, ties map[netlist.NodeID]logic.V) *combProp {
+	return &combProp{
+		c:       c,
+		ties:    ties,
+		values:  make([]logic.V, c.NumNodes()),
+		inQueue: make([]bool, c.NumNodes()),
+	}
+}
+
+// run injects n=v into a clean frame and propagates to a fixpoint; it
+// reports false on conflict.
+func (p *combProp) run(n netlist.NodeID, v logic.V) bool {
+	for _, m := range p.touched {
+		p.values[m] = logic.X
+	}
+	p.touched = p.touched[:0]
+	p.queue = p.queue[:0]
+	for i := range p.inQueue {
+		if p.inQueue[i] {
+			p.inQueue[i] = false
+		}
+	}
+	p.conflict = false
+
+	for tn, tv := range p.ties {
+		p.assign(tn, tv)
+	}
+	p.assign(n, v)
+	p.settle()
+	return !p.conflict
+}
+
+func (p *combProp) assign(n netlist.NodeID, v logic.V) {
+	if v == logic.X || p.conflict {
+		return
+	}
+	cur := p.values[n]
+	if cur == v {
+		return
+	}
+	if cur != logic.X {
+		p.conflict = true
+		return
+	}
+	p.values[n] = v
+	p.touched = append(p.touched, n)
+	p.enqueue(n)
+	for _, out := range p.c.Fanouts(n) {
+		if p.c.Nodes[out].Kind == netlist.KindGate {
+			p.enqueue(out)
+		}
+	}
+}
+
+func (p *combProp) enqueue(n netlist.NodeID) {
+	if !p.inQueue[n] && p.c.Nodes[n].Kind == netlist.KindGate {
+		p.inQueue[n] = true
+		p.queue = append(p.queue, n)
+	}
+}
+
+func (p *combProp) settle() {
+	for len(p.queue) > 0 && !p.conflict {
+		n := p.queue[len(p.queue)-1]
+		p.queue = p.queue[:len(p.queue)-1]
+		p.inQueue[n] = false
+		p.forward(n)
+		if !p.conflict {
+			p.backward(n)
+		}
+	}
+}
+
+// pinVal reads a fanin pin value.
+func (p *combProp) pinVal(pin netlist.Pin) logic.V {
+	v := p.values[pin.Node]
+	if pin.Inv {
+		v = v.Not()
+	}
+	return v
+}
+
+// forward evaluates gate n from its inputs.
+func (p *combProp) forward(n netlist.NodeID) {
+	var buf [16]logic.V
+	fanin := p.c.Fanin(n)
+	vals := buf[:0]
+	if cap(vals) < len(fanin) {
+		vals = make([]logic.V, 0, len(fanin))
+	}
+	for _, pin := range fanin {
+		vals = append(vals, p.pinVal(pin))
+	}
+	v := logic.EvalSlice(p.c.Nodes[n].Op, vals)
+	if v != logic.X {
+		p.assign(n, v)
+	}
+}
+
+// backward applies unique justification: when gate n's output value leaves
+// only one way to drive its inputs, those inputs are implied.
+func (p *combProp) backward(n netlist.NodeID) {
+	out := p.values[n]
+	if out == logic.X {
+		return
+	}
+	nd := &p.c.Nodes[n]
+	fanin := p.c.Fanin(n)
+
+	assignPin := func(pin netlist.Pin, v logic.V) {
+		if pin.Inv {
+			v = v.Not()
+		}
+		p.assign(pin.Node, v)
+	}
+
+	switch nd.Op {
+	case logic.OpBuf:
+		assignPin(fanin[0], out)
+	case logic.OpNot:
+		assignPin(fanin[0], out.Not())
+	case logic.OpAnd, logic.OpNand, logic.OpOr, logic.OpNor:
+		ctrl, _ := nd.Op.Controlling()
+		nonCtrl := ctrl.Not()
+		eff := out
+		if nd.Op.Inverts() {
+			eff = out.Not()
+		}
+		if eff == nonCtrl {
+			// Every input must carry the non-controlling value.
+			for _, pin := range fanin {
+				assignPin(pin, nonCtrl)
+			}
+			return
+		}
+		// Output is the controlled value: if exactly one input is not yet
+		// known non-controlling, it must be controlling.
+		unknown := -1
+		for i, pin := range fanin {
+			v := p.pinVal(pin)
+			if v == ctrl {
+				return // already justified
+			}
+			if v == logic.X {
+				if unknown >= 0 {
+					return // more than one candidate: a decision, stop
+				}
+				unknown = i
+			}
+		}
+		if unknown >= 0 {
+			assignPin(fanin[unknown], ctrl)
+		} else {
+			p.conflict = true // all inputs non-controlling yet controlled output
+		}
+	case logic.OpXor, logic.OpXnor:
+		// With the output and all inputs but one known, the last input is
+		// the parity completion.
+		parity := logic.Zero
+		if out == logic.One {
+			parity = logic.One
+		}
+		if nd.Op == logic.OpXnor {
+			parity = parity.Not()
+		}
+		unknown := -1
+		acc := logic.Zero
+		for i, pin := range fanin {
+			v := p.pinVal(pin)
+			if v == logic.X {
+				if unknown >= 0 {
+					return
+				}
+				unknown = i
+				continue
+			}
+			acc = logic.Xor(acc, v)
+		}
+		if unknown >= 0 {
+			assignPin(fanin[unknown], logic.Xor(acc, parity))
+		}
+	}
+}

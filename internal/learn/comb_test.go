@@ -1,0 +1,97 @@
+package learn
+
+import (
+	"testing"
+
+	"repro/internal/imply"
+	"repro/internal/logic"
+	"repro/internal/netlist"
+)
+
+// combCircuit builds a circuit whose backward implications exercise every
+// justification rule: NAND, NOR, XOR, buffers and inverters; flip-flops
+// make the relations count as gate-FF / FF-FF.
+func combCircuit(t *testing.T) *netlist.Circuit {
+	t.Helper()
+	b := netlist.NewBuilder("cc")
+	b.PI("a")
+	b.Gate("nand", logic.OpNand, netlist.P("q1"), netlist.P("q2"))
+	b.Gate("nor", logic.OpNor, netlist.P("q1"), netlist.P("q3"))
+	b.Gate("xor", logic.OpXor, netlist.P("q2"), netlist.P("q3"))
+	b.Gate("inv", logic.OpNot, netlist.P("nand"))
+	b.DFF("q1", netlist.P("a"), netlist.Clock{})
+	b.DFF("q2", netlist.P("a"), netlist.Clock{})
+	b.DFF("q3", netlist.P("a"), netlist.Clock{})
+	b.PO("o1", netlist.P("inv"))
+	b.PO("o2", netlist.P("nor"))
+	b.PO("o3", netlist.P("xor"))
+	return b.MustBuild()
+}
+
+func TestCombBackwardNand(t *testing.T) {
+	c := combCircuit(t)
+	db := imply.NewDB(c)
+	Combinational(c, db, nil)
+	// nand=0 ⟹ both inputs 1.
+	if !db.HasNamed("nand", logic.Zero, "q1", logic.One, 0) ||
+		!db.HasNamed("nand", logic.Zero, "q2", logic.One, 0) {
+		t.Error("NAND=0 backward implication missing")
+	}
+	// inv=1 ⟹ nand=0 ⟹ q1=1 (chained through the inverter).
+	if !db.HasNamed("inv", logic.One, "q1", logic.One, 0) {
+		t.Error("chained NOT backward implication missing")
+	}
+	// nor=1 ⟹ both inputs 0.
+	if !db.HasNamed("nor", logic.One, "q1", logic.Zero, 0) ||
+		!db.HasNamed("nor", logic.One, "q3", logic.Zero, 0) {
+		t.Error("NOR=1 backward implication missing")
+	}
+}
+
+func TestCombXorCompletion(t *testing.T) {
+	// XOR backward: with q2 known and xor known, q3 follows. The static
+	// learner injects one node at a time, so this shows up as the
+	// *pairing* of forward implications instead; check the forward
+	// direction through an injected FF: q2=1 ⟹ nothing alone, but
+	// injecting xor=1 with q2 known is not expressible — instead verify
+	// the contrapositive database entries exist via q-injections.
+	c := combCircuit(t)
+	db := imply.NewDB(c)
+	Combinational(c, db, nil)
+	// Injecting q1=1 forces nor=0 (forward).
+	if !db.HasNamed("q1", logic.One, "nor", logic.Zero, 0) {
+		t.Error("forward q1=1 -> nor=0 missing")
+	}
+	// Every stored relation must be flagged combinational.
+	for _, r := range db.Relations() {
+		if !db.IsCombinational(r.A, r.B, int(r.Dt)) {
+			t.Fatalf("non-combinational relation from comb learner: %v", db.FormatRelation(r))
+		}
+	}
+}
+
+func TestCombTieDetection(t *testing.T) {
+	b := netlist.NewBuilder("ct")
+	b.PI("x")
+	b.Gate("t1", logic.OpAnd, netlist.P("x"), netlist.N("x")) // == 0
+	b.Gate("t2", logic.OpOr, netlist.P("x"), netlist.N("x"))  // == 1
+	b.DFF("q", netlist.P("t1"), netlist.Clock{})
+	b.PO("o", netlist.P("q"))
+	b.PO("o2", netlist.P("t2"))
+	c := b.MustBuild()
+	db := imply.NewDB(c)
+	ties := Combinational(c, db, nil)
+	got := map[string]logic.V{}
+	for _, tie := range ties {
+		got[c.NameOf(tie.Node)] = tie.Val
+	}
+	// Injecting t1=1 forces x=1 through one pin and x=0 through the
+	// inverted pin: a conflict, so t1 is combinationally tied to 0. The
+	// OR dual ties t2 to 1.
+	if got["t1"] != logic.Zero {
+		t.Errorf("AND(x,¬x) tie: %v", got)
+	}
+	if got["t2"] != logic.One {
+		t.Errorf("OR(x,¬x) tie: %v", got)
+	}
+}

@@ -1,0 +1,549 @@
+// Package learn implements the paper's core contribution: the fast
+// sequential learning technique that extracts implications, invalid states
+// and tied gates from a gate-level sequential circuit by forward
+// three-valued simulation across time frames.
+//
+// The technique (Section 3 of the paper):
+//
+//  1. Single-node learning. For every fanout stem, inject 0 and then 1 and
+//     simulate forward up to MaxFrames frames, stopping early when the
+//     implied state repeats. Entries of the two rows at the same time frame
+//     combine through the contrapositive law into relations; a node that
+//     receives the same value at the same frame in both rows is a tied
+//     gate.
+//
+//  2. Multiple-node learning. Every recorded entry "stem=v@0 ⟹ node=w@d"
+//     contributes, by contrapositive, the necessary assignment stem=¬v at
+//     frame T-d to the learning target node=¬w at frame T. All necessary
+//     assignments are injected together with the target and simulated
+//     forward; everything that settles is implied by the target, and a
+//     conflict proves the target impossible — the node is a tied gate.
+//
+// Learned tied gates participate as constants in the multiple-node phase,
+// and verified gate equivalences (package equiv) propagate values the
+// three-valued evaluation alone cannot push, exactly as the paper's Figure 1
+// walk-through requires.
+//
+// Real-circuit handling (Section 3.3): learning runs separately per clock
+// class, never propagates values across multi-port latches or elements with
+// both unconstrained set and reset, and propagates across elements with
+// only set (only reset) just the value 1 (0).
+package learn
+
+import (
+	"sort"
+	"time"
+
+	"repro/internal/equiv"
+	"repro/internal/imply"
+	"repro/internal/logic"
+	"repro/internal/netlist"
+	"repro/internal/sim"
+)
+
+// Options configures a learning run. The zero value is the paper's
+// configuration (50 frames, ties and equivalences on, full multiple-node
+// phase).
+type Options struct {
+	// MaxFrames caps forward simulation (default sim.DefaultMaxFrames).
+	MaxFrames int
+
+	// SingleNodeOnly skips the multiple-node phase.
+	SingleNodeOnly bool
+
+	// DisableTies keeps learned tied gates from being used as constants in
+	// the multiple-node phase (ablation).
+	DisableTies bool
+
+	// DisableEquiv skips gate-equivalence identification and use
+	// (ablation).
+	DisableEquiv bool
+
+	// DisableEarlyStop turns off the repeated-state stopping rule
+	// (ablation; the paper's rule is on by default).
+	DisableEarlyStop bool
+
+	// TieFixpoint re-runs the multiple-node phase with newly proven ties
+	// folded in until no new tie appears (an extension beyond the paper's
+	// single pass). At most 4 iterations.
+	TieFixpoint bool
+
+	// KeepRows retains the single-node simulation rows (Table 1 output).
+	KeepRows bool
+
+	// SkipComb skips the classical combinational learning pass that marks
+	// which relations are derivable within one frame (Table 3 excludes
+	// them). Skipping makes the comb/sequential split operational
+	// (frame-0-derived only) — useful on very large circuits where the
+	// 2-injections-per-gate combinational sweep dominates runtime.
+	SkipComb bool
+
+	// MaxPairsPerStem bounds contrapositive pairing work per stem
+	// (default 1<<20); overflow is counted in Stats.PairsSkipped.
+	MaxPairsPerStem int
+
+	// Equiv tunes equivalence identification.
+	Equiv equiv.Options
+}
+
+func (o *Options) defaults() {
+	if o.MaxFrames <= 0 {
+		o.MaxFrames = sim.DefaultMaxFrames
+	}
+	if o.MaxPairsPerStem <= 0 {
+		o.MaxPairsPerStem = 1 << 20
+	}
+}
+
+// Tie is a learned tied gate.
+type Tie struct {
+	Node netlist.NodeID
+	Val  logic.V
+	// Frame is the earliest frame at which the tie was established; 0
+	// means combinationally tied, >0 sequentially tied (c-cycle
+	// redundant).
+	Frame int
+}
+
+// StemRow is one row of the paper's Table 1: the frames implied by
+// injecting Val on Stem.
+type StemRow struct {
+	Class        int32
+	Stem         netlist.NodeID
+	Val          logic.V
+	Frames       []sim.Frame
+	StoppedEarly bool
+}
+
+// Stats instruments a learning run.
+type Stats struct {
+	Stems        int
+	Targets      int
+	Sims         int
+	Frames       int
+	Conflicts    int
+	PairsSkipped int
+	NewTiesByFix int
+	Duration     time.Duration
+}
+
+// Result is the outcome of Learn.
+type Result struct {
+	DB   *imply.DB
+	Ties map[netlist.NodeID]logic.V
+
+	// CombTies and SeqTies are the tied gates sorted by name.
+	CombTies []Tie
+	SeqTies  []Tie
+
+	EquivClasses []equiv.Class
+
+	// Rows holds single-node simulation rows when Options.KeepRows.
+	Rows []StemRow
+
+	Stats Stats
+}
+
+// TieOf returns the tie on node n, if any.
+func (r *Result) TieOf(n netlist.NodeID) (logic.V, bool) {
+	v, ok := r.Ties[n]
+	return v, ok
+}
+
+// record is one entry "Stem=Stem.Val at frame 0 implies the keyed literal
+// at frame Offset", collected during single-node learning.
+type record struct {
+	Stem   imply.Lit
+	Offset int
+}
+
+// learner carries the state of one Learn invocation.
+type learner struct {
+	c   *netlist.Circuit
+	opt Options
+	eng *sim.Engine
+	res *Result
+
+	// records per class: observed literal -> producing stem assignments.
+	records []map[imply.Lit][]record
+	// tieFrame tracks the earliest frame per learned tie.
+	tieFrame map[netlist.NodeID]int
+
+	// rowCache holds purely combinational stem rows, which are identical
+	// under every class gating; multi-domain circuits would otherwise
+	// re-simulate every stem once per clock class. A row is cacheable only
+	// if its frame-0 values touch no sequential D-pin source (dFeeder).
+	rowCache map[rowKey]*sim.Result
+	dFeeder  []bool
+
+	partners map[netlist.NodeID][]sim.EqPartner
+}
+
+type rowKey struct {
+	stem netlist.NodeID
+	val  logic.V
+}
+
+// Learn runs the full sequential learning flow on c.
+func Learn(c *netlist.Circuit, opt Options) *Result {
+	opt.defaults()
+	start := time.Now()
+
+	l := &learner{
+		c:        c,
+		opt:      opt,
+		eng:      sim.NewEngine(c),
+		res:      &Result{DB: imply.NewDB(c), Ties: map[netlist.NodeID]logic.V{}},
+		tieFrame: map[netlist.NodeID]int{},
+		rowCache: map[rowKey]*sim.Result{},
+	}
+	l.dFeeder = make([]bool, c.NumNodes())
+	for _, id := range c.Seqs {
+		l.dFeeder[c.Nodes[id].Seq.D.Node] = true
+	}
+
+	classes := classList(c)
+	l.records = make([]map[imply.Lit][]record, len(classes))
+
+	// Phase 1: single-node learning per clock class.
+	for i, cls := range classes {
+		l.records[i] = map[imply.Lit][]record{}
+		l.singleNode(cls, l.records[i])
+	}
+
+	// Phase 2: gate equivalences with ties folded in.
+	if !opt.DisableEquiv {
+		eq := equiv.Find(c, l.tiesForSim(), opt.Equiv)
+		l.res.EquivClasses = eq.Classes
+		l.partners = eq.Partners
+	}
+
+	// Phase 3: multiple-node learning per clock class. Tie constants are
+	// installed on the engine once per pass (read-through, closed under
+	// constant propagation).
+	if !opt.SingleNodeOnly {
+		l.eng.SetTies(l.tiesForSim())
+		for i, cls := range classes {
+			l.multiNode(cls, l.records[i])
+		}
+		for iter := 0; opt.TieFixpoint && iter < 3; iter++ {
+			before := len(l.res.Ties)
+			l.eng.SetTies(l.tiesForSim())
+			for i, cls := range classes {
+				l.multiNode(cls, l.records[i])
+			}
+			l.res.Stats.NewTiesByFix += len(l.res.Ties) - before
+			if len(l.res.Ties) == before {
+				break
+			}
+		}
+		l.eng.SetTies(nil)
+	}
+
+	// Phase 4: classical combinational learning, which (a) feeds the
+	// ATPG's always-on combinational baseline and (b) marks the relations
+	// that Table 3 must exclude. Only combinational ties may be folded in
+	// here — a sequential tie is knowledge combinational learning cannot
+	// have, and using it would misclassify sequential relations.
+	if !opt.SkipComb {
+		combTies := map[netlist.NodeID]logic.V{}
+		for n, v := range l.res.Ties {
+			if l.tieFrame[n] == 0 {
+				combTies[n] = v
+			}
+		}
+		for _, tie := range Combinational(c, l.res.DB, combTies) {
+			l.addTie(tie.Node, tie.Val, 0)
+		}
+	}
+
+	l.finish()
+	l.res.Stats.Duration = time.Since(start)
+	return l.res
+}
+
+// classList enumerates the learning classes; a circuit without sequential
+// elements still gets one (gating-free) pass.
+func classList(c *netlist.Circuit) []int32 {
+	n := len(c.Classes())
+	if n == 0 {
+		return []int32{-1}
+	}
+	out := make([]int32, n)
+	for i := range out {
+		out[i] = int32(i)
+	}
+	return out
+}
+
+// tiesForSim returns the tie constants to fold into simulation, honoring
+// the ablation flag.
+func (l *learner) tiesForSim() map[netlist.NodeID]logic.V {
+	if l.opt.DisableTies {
+		return nil
+	}
+	return l.res.Ties
+}
+
+// stemsFor lists the injection stems for a class pass: every combinational
+// stem plus the sequential stems of the class.
+func (l *learner) stemsFor(cls int32) []netlist.NodeID {
+	var out []netlist.NodeID
+	for _, s := range l.c.Stems() {
+		if l.c.IsSeq(s) {
+			if cls >= 0 && l.c.Nodes[s].Seq.Class != cls {
+				continue
+			}
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
+// singleNode runs the single-node learning phase for one class.
+func (l *learner) singleNode(cls int32, records map[imply.Lit][]record) {
+	modes := sim.PropModes(l.c, nil, cls)
+	stems := l.stemsFor(cls)
+	l.res.Stats.Stems += len(stems)
+
+	multiClass := len(l.c.Classes()) > 1
+	for _, s := range stems {
+		var rows [2]sim.Result
+		for _, v := range []logic.V{logic.Zero, logic.One} {
+			var res sim.Result
+			key := rowKey{stem: s, val: v}
+			if cached, ok := l.rowCache[key]; ok {
+				res = *cached
+			} else {
+				res = l.eng.Run(
+					[]sim.Injection{{Frame: 0, Node: s, Val: v}},
+					sim.Options{
+						MaxFrames:   l.opt.MaxFrames,
+						PropModes:   modes,
+						NoEarlyStop: l.opt.DisableEarlyStop,
+					})
+				l.res.Stats.Sims++
+				l.res.Stats.Frames += len(res.Frames)
+				// A row whose frame-0 values reach no D-pin source can
+				// never capture anything under any gating: identical in
+				// every class pass.
+				if multiClass && len(res.Frames) == 1 && res.StoppedEarly && !res.Conflict {
+					cacheable := true
+					for _, a := range res.Frames[0] {
+						if l.dFeeder[a.Node] {
+							cacheable = false
+							break
+						}
+					}
+					if cacheable {
+						r := res
+						l.rowCache[key] = &r
+					}
+				}
+			}
+			rows[v-logic.Zero] = res
+			if l.opt.KeepRows {
+				l.res.Rows = append(l.res.Rows, StemRow{
+					Class: cls, Stem: s, Val: v,
+					Frames: res.Frames, StoppedEarly: res.StoppedEarly,
+				})
+			}
+
+			// Collect records and direct relations.
+			stemLit := imply.Lit{Node: s, Val: v}
+			for t, frame := range res.Frames {
+				for _, a := range frame {
+					if a.Node == s && t == 0 {
+						continue // the injection itself
+					}
+					lit := imply.Lit{Node: a.Node, Val: a.Val}
+					records[lit] = append(records[lit], record{Stem: stemLit, Offset: t})
+					// Direct relation stem=v@0 ⟹ node=val@t.
+					if l.c.IsSeq(s) || l.c.IsSeq(a.Node) {
+						l.res.DB.Add(stemLit, lit, t, t == 0, t)
+					}
+				}
+			}
+		}
+		l.pairRows(s, rows[0].Frames, rows[1].Frames)
+	}
+}
+
+// pairRows combines the 0-row and 1-row of a stem through the
+// contrapositive law: A@t in row0 and B@t in row1 yield ¬A ⟹ B (same
+// frame); identical entries in both rows prove a tie.
+func (l *learner) pairRows(s netlist.NodeID, row0, row1 []sim.Frame) {
+	budget := l.opt.MaxPairsPerStem
+	frames := len(row0)
+	if len(row1) < frames {
+		frames = len(row1)
+	}
+	for t := 0; t < frames; t++ {
+		f0, f1 := row0[t], row1[t]
+		for _, a0 := range f0 {
+			if a0.Node == s && t == 0 {
+				continue
+			}
+			for _, a1 := range f1 {
+				if a1.Node == s && t == 0 {
+					continue
+				}
+				if budget--; budget < 0 {
+					l.res.Stats.PairsSkipped++
+					continue
+				}
+				if a0.Node == a1.Node {
+					if a0.Val == a1.Val {
+						// Both stem values produce the same value at the
+						// same frame: tied gate.
+						l.addTie(a0.Node, a0.Val, t)
+					}
+					continue
+				}
+				// Relations between gate pairs are not extracted (they
+				// follow from the gate-FF relations, Section 3).
+				if !l.c.IsSeq(a0.Node) && !l.c.IsSeq(a1.Node) {
+					continue
+				}
+				la := imply.Lit{Node: a0.Node, Val: a0.Val}
+				lb := imply.Lit{Node: a1.Node, Val: a1.Val}
+				l.res.DB.Add(la.Not(), lb, 0, t == 0, t)
+			}
+		}
+	}
+}
+
+// addTie records a learned tie.
+func (l *learner) addTie(n netlist.NodeID, v logic.V, frame int) {
+	if old, ok := l.res.Ties[n]; ok {
+		if old != v {
+			// Cannot happen for sound derivations; keep the first.
+			return
+		}
+		if f, ok := l.tieFrame[n]; !ok || frame < f {
+			l.tieFrame[n] = frame
+		}
+		return
+	}
+	l.res.Ties[n] = v
+	l.tieFrame[n] = frame
+}
+
+// multiNode runs the multiple-node learning phase for one class.
+func (l *learner) multiNode(cls int32, records map[imply.Lit][]record) {
+	ties := l.tiesForSim()
+	modes := sim.PropModes(l.c, ties, cls)
+
+	// Deterministic target order.
+	targets := make([]imply.Lit, 0, len(records))
+	for lit := range records {
+		targets = append(targets, lit)
+	}
+	sort.Slice(targets, func(i, j int) bool {
+		if targets[i].Node != targets[j].Node {
+			return targets[i].Node < targets[j].Node
+		}
+		return targets[i].Val < targets[j].Val
+	})
+
+	// Ties proven during this pass are applied only afterwards, keeping
+	// the pass order-independent; TieFixpoint loops feed them back.
+	newTies := map[netlist.NodeID]Tie{}
+
+	for _, lit := range targets {
+		if _, tied := l.res.Ties[lit.Node]; tied {
+			continue
+		}
+		recs := records[lit]
+		target := lit.Not()
+		T := 0
+		for _, r := range recs {
+			if r.Offset > T {
+				T = r.Offset
+			}
+		}
+		inj := make([]sim.Injection, 0, len(recs)+1)
+		seen := map[sim.Injection]bool{}
+		directConflict := false
+		for _, r := range recs {
+			in := sim.Injection{Frame: T - r.Offset, Node: r.Stem.Node, Val: r.Stem.Val.Not()}
+			if seen[in] {
+				continue
+			}
+			// A contradictory necessary assignment proves the target
+			// impossible without simulating.
+			if seen[sim.Injection{Frame: in.Frame, Node: in.Node, Val: in.Val.Not()}] {
+				directConflict = true
+				break
+			}
+			seen[in] = true
+			inj = append(inj, in)
+		}
+		l.res.Stats.Targets++
+		if directConflict {
+			l.res.Stats.Conflicts++
+			if _, dup := newTies[lit.Node]; !dup {
+				newTies[lit.Node] = Tie{Node: lit.Node, Val: lit.Val, Frame: T}
+			}
+			continue
+		}
+		inj = append(inj, sim.Injection{Frame: T, Node: target.Node, Val: target.Val})
+
+		res := l.eng.Run(inj, sim.Options{
+			MaxFrames:   T + 1,
+			Equiv:       l.partners,
+			PropModes:   modes,
+			NoEarlyStop: true,
+		})
+		l.res.Stats.Sims++
+		l.res.Stats.Frames += len(res.Frames)
+
+		if res.Conflict {
+			// The target assignment is impossible: lit.Node is tied to
+			// the observed value (paper Section 3.2).
+			l.res.Stats.Conflicts++
+			if _, dup := newTies[lit.Node]; !dup {
+				newTies[lit.Node] = Tie{Node: lit.Node, Val: lit.Val, Frame: T}
+			}
+			continue
+		}
+		if len(res.Frames) <= T {
+			continue
+		}
+		for _, a := range res.Frames[T] {
+			if a.Node == target.Node {
+				continue
+			}
+			if _, tied := l.res.Ties[a.Node]; tied {
+				continue
+			}
+			if !l.c.IsSeq(target.Node) && !l.c.IsSeq(a.Node) {
+				continue
+			}
+			l.res.DB.Add(target, imply.Lit{Node: a.Node, Val: a.Val}, 0, T == 0, T)
+		}
+	}
+
+	for _, tie := range newTies {
+		l.addTie(tie.Node, tie.Val, tie.Frame)
+	}
+}
+
+// finish sorts the tie lists.
+func (l *learner) finish() {
+	for n, v := range l.res.Ties {
+		tie := Tie{Node: n, Val: v, Frame: l.tieFrame[n]}
+		if tie.Frame == 0 {
+			l.res.CombTies = append(l.res.CombTies, tie)
+		} else {
+			l.res.SeqTies = append(l.res.SeqTies, tie)
+		}
+	}
+	byName := func(ts []Tie) func(i, j int) bool {
+		return func(i, j int) bool {
+			return l.c.NameOf(ts[i].Node) < l.c.NameOf(ts[j].Node)
+		}
+	}
+	sort.Slice(l.res.CombTies, byName(l.res.CombTies))
+	sort.Slice(l.res.SeqTies, byName(l.res.SeqTies))
+}

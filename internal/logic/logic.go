@@ -1,0 +1,292 @@
+// Package logic implements the multi-valued logic algebras used throughout
+// the repository: the three-valued algebra (0, 1, X) that drives the
+// sequential learning simulator, the five-valued D-algebra (0, 1, X, D, D̄)
+// used by the test generator, and 64-way parallel-pattern words used for
+// signature computation and fault simulation.
+//
+// The three-valued algebra follows the standard pessimistic semantics: a
+// controlling value on any input determines the output; otherwise, if any
+// input is X the output is X.
+package logic
+
+import "fmt"
+
+// V is a three-valued logic value.
+type V uint8
+
+// The three logic values. X is the zero value so that freshly allocated
+// value arrays start fully unknown.
+const (
+	X    V = iota // unknown
+	Zero          // logic 0
+	One           // logic 1
+)
+
+// String returns "X", "0" or "1".
+func (v V) String() string {
+	switch v {
+	case Zero:
+		return "0"
+	case One:
+		return "1"
+	default:
+		return "X"
+	}
+}
+
+// Known reports whether v is 0 or 1.
+func (v V) Known() bool { return v == Zero || v == One }
+
+// Not returns the three-valued complement.
+func (v V) Not() V {
+	switch v {
+	case Zero:
+		return One
+	case One:
+		return Zero
+	default:
+		return X
+	}
+}
+
+// FromBool converts a Go bool to a logic value.
+func FromBool(b bool) V {
+	if b {
+		return One
+	}
+	return Zero
+}
+
+// Bool converts a known value to a Go bool; it panics on X.
+func (v V) Bool() bool {
+	switch v {
+	case Zero:
+		return false
+	case One:
+		return true
+	}
+	panic("logic: Bool of X")
+}
+
+// And returns the three-valued AND of a and b.
+func And(a, b V) V {
+	if a == Zero || b == Zero {
+		return Zero
+	}
+	if a == One && b == One {
+		return One
+	}
+	return X
+}
+
+// Or returns the three-valued OR of a and b.
+func Or(a, b V) V {
+	if a == One || b == One {
+		return One
+	}
+	if a == Zero && b == Zero {
+		return Zero
+	}
+	return X
+}
+
+// Xor returns the three-valued XOR of a and b (X if either input is X).
+func Xor(a, b V) V {
+	if !a.Known() || !b.Known() {
+		return X
+	}
+	if a == b {
+		return Zero
+	}
+	return One
+}
+
+// Op identifies a primitive gate function. The learning and simulation
+// engines treat every combinational node as one of these operations applied
+// to its (possibly per-pin inverted) inputs.
+type Op uint8
+
+// Supported gate operations.
+const (
+	OpBuf Op = iota // identity (single input)
+	OpNot           // complement (single input)
+	OpAnd
+	OpNand
+	OpOr
+	OpNor
+	OpXor  // parity of all inputs
+	OpXnor // complemented parity
+	OpConst0
+	OpConst1
+)
+
+var opNames = [...]string{
+	OpBuf: "BUF", OpNot: "NOT", OpAnd: "AND", OpNand: "NAND",
+	OpOr: "OR", OpNor: "NOR", OpXor: "XOR", OpXnor: "XNOR",
+	OpConst0: "CONST0", OpConst1: "CONST1",
+}
+
+// String returns the conventional gate name, e.g. "NAND".
+func (op Op) String() string {
+	if int(op) < len(opNames) {
+		return opNames[op]
+	}
+	return fmt.Sprintf("Op(%d)", uint8(op))
+}
+
+// ParseOp converts a gate name (as used in .bench files) to an Op.
+func ParseOp(name string) (Op, bool) {
+	for op, n := range opNames {
+		if n == name {
+			return Op(op), true
+		}
+	}
+	return 0, false
+}
+
+// Controlling returns the controlling input value of op and whether op has
+// one. A controlling value on any input fully determines the output.
+func (op Op) Controlling() (V, bool) {
+	switch op {
+	case OpAnd, OpNand:
+		return Zero, true
+	case OpOr, OpNor:
+		return One, true
+	}
+	return X, false
+}
+
+// Inverts reports whether op complements its "natural" result (NAND, NOR,
+// NOT, XNOR).
+func (op Op) Inverts() bool {
+	switch op {
+	case OpNand, OpNor, OpNot, OpXnor:
+		return true
+	}
+	return false
+}
+
+// ControlledOutput returns the output value produced when some input of op
+// carries the controlling value.
+func (op Op) ControlledOutput() V {
+	switch op {
+	case OpAnd:
+		return Zero
+	case OpNand:
+		return One
+	case OpOr:
+		return One
+	case OpNor:
+		return Zero
+	}
+	return X
+}
+
+// Eval evaluates op over ins under three-valued semantics.
+//
+// OpBuf and OpNot use only ins[0]. OpConst0/OpConst1 ignore inputs. The
+// variadic slice is not retained.
+func Eval(op Op, ins ...V) V {
+	return EvalSlice(op, ins)
+}
+
+// EvalSlice is Eval without the variadic copy; ins is not retained.
+func EvalSlice(op Op, ins []V) V {
+	switch op {
+	case OpConst0:
+		return Zero
+	case OpConst1:
+		return One
+	case OpBuf:
+		return ins[0]
+	case OpNot:
+		return ins[0].Not()
+	case OpAnd, OpNand:
+		out := One
+		for _, v := range ins {
+			if v == Zero {
+				out = Zero
+				break
+			}
+			if v == X {
+				out = X
+			}
+		}
+		if op == OpNand {
+			return out.Not()
+		}
+		return out
+	case OpOr, OpNor:
+		out := Zero
+		for _, v := range ins {
+			if v == One {
+				out = One
+				break
+			}
+			if v == X {
+				out = X
+			}
+		}
+		if op == OpNor {
+			return out.Not()
+		}
+		return out
+	case OpXor, OpXnor:
+		out := Zero
+		for _, v := range ins {
+			if v == X {
+				return X
+			}
+			out = Xor(out, v)
+		}
+		if op == OpXnor {
+			return out.Not()
+		}
+		return out
+	}
+	panic(fmt.Sprintf("logic: Eval of unknown op %d", op))
+}
+
+// EvalBool evaluates op over fully known boolean inputs. It is the binary
+// reference semantics used by property tests and the parallel-pattern
+// simulator.
+func EvalBool(op Op, ins []bool) bool {
+	switch op {
+	case OpConst0:
+		return false
+	case OpConst1:
+		return true
+	case OpBuf:
+		return ins[0]
+	case OpNot:
+		return !ins[0]
+	case OpAnd, OpNand:
+		out := true
+		for _, v := range ins {
+			out = out && v
+		}
+		if op == OpNand {
+			return !out
+		}
+		return out
+	case OpOr, OpNor:
+		out := false
+		for _, v := range ins {
+			out = out || v
+		}
+		if op == OpNor {
+			return !out
+		}
+		return out
+	case OpXor, OpXnor:
+		out := false
+		for _, v := range ins {
+			out = out != v
+		}
+		if op == OpXnor {
+			return !out
+		}
+		return out
+	}
+	panic(fmt.Sprintf("logic: EvalBool of unknown op %d", op))
+}

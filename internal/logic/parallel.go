@@ -1,0 +1,176 @@
+package logic
+
+// W is the number of patterns evaluated in parallel by the pattern
+// simulators: one per bit of a machine word.
+const W = 64
+
+// PV is a 64-way parallel three-valued vector. Bit i of Ones set means
+// pattern i carries 1; bit i of Zeros set means it carries 0; neither set
+// means X. A bit must never be set in both words.
+type PV struct {
+	Ones  uint64
+	Zeros uint64
+}
+
+// PX is the all-unknown parallel vector.
+var PX = PV{}
+
+// PVConst returns a PV with all 64 lanes set to v.
+func PVConst(v V) PV {
+	switch v {
+	case One:
+		return PV{Ones: ^uint64(0)}
+	case Zero:
+		return PV{Zeros: ^uint64(0)}
+	}
+	return PV{}
+}
+
+// Get returns the value in lane i.
+func (p PV) Get(i int) V {
+	bit := uint64(1) << uint(i)
+	switch {
+	case p.Ones&bit != 0:
+		return One
+	case p.Zeros&bit != 0:
+		return Zero
+	default:
+		return X
+	}
+}
+
+// Set assigns lane i to v.
+func (p *PV) Set(i int, v V) {
+	bit := uint64(1) << uint(i)
+	p.Ones &^= bit
+	p.Zeros &^= bit
+	switch v {
+	case One:
+		p.Ones |= bit
+	case Zero:
+		p.Zeros |= bit
+	}
+}
+
+// Not complements every lane.
+func (p PV) Not() PV { return PV{Ones: p.Zeros, Zeros: p.Ones} }
+
+// Valid reports that no lane is both 0 and 1.
+func (p PV) Valid() bool { return p.Ones&p.Zeros == 0 }
+
+// PEvalSlice evaluates op lane-wise over parallel vectors.
+func PEvalSlice(op Op, ins []PV) PV {
+	switch op {
+	case OpConst0:
+		return PVConst(Zero)
+	case OpConst1:
+		return PVConst(One)
+	case OpBuf:
+		return ins[0]
+	case OpNot:
+		return ins[0].Not()
+	case OpAnd, OpNand:
+		out := PVConst(One)
+		for _, v := range ins {
+			out = PV{Ones: out.Ones & v.Ones, Zeros: out.Zeros | v.Zeros}
+		}
+		if op == OpNand {
+			return out.Not()
+		}
+		return out
+	case OpOr, OpNor:
+		out := PVConst(Zero)
+		for _, v := range ins {
+			out = PV{Ones: out.Ones | v.Ones, Zeros: out.Zeros & v.Zeros}
+		}
+		if op == OpNor {
+			return out.Not()
+		}
+		return out
+	case OpXor, OpXnor:
+		// Known only where every input is known.
+		known := ^uint64(0)
+		parity := uint64(0)
+		for _, v := range ins {
+			known &= v.Ones | v.Zeros
+			parity ^= v.Ones
+		}
+		out := PV{Ones: parity & known, Zeros: ^parity & known}
+		if op == OpXnor {
+			return out.Not()
+		}
+		return out
+	}
+	panic("logic: PEvalSlice of unknown op")
+}
+
+// BEvalSlice evaluates op lane-wise over fully binary 64-way words (no X),
+// as used for random-pattern signatures.
+func BEvalSlice(op Op, ins []uint64) uint64 {
+	switch op {
+	case OpConst0:
+		return 0
+	case OpConst1:
+		return ^uint64(0)
+	case OpBuf:
+		return ins[0]
+	case OpNot:
+		return ^ins[0]
+	case OpAnd, OpNand:
+		out := ^uint64(0)
+		for _, v := range ins {
+			out &= v
+		}
+		if op == OpNand {
+			return ^out
+		}
+		return out
+	case OpOr, OpNor:
+		out := uint64(0)
+		for _, v := range ins {
+			out |= v
+		}
+		if op == OpNor {
+			return ^out
+		}
+		return out
+	case OpXor, OpXnor:
+		out := uint64(0)
+		for _, v := range ins {
+			out ^= v
+		}
+		if op == OpXnor {
+			return ^out
+		}
+		return out
+	}
+	panic("logic: BEvalSlice of unknown op")
+}
+
+// Rand64 is a small deterministic 64-bit generator (splitmix64). The
+// repository never uses math/rand so that every experiment is reproducible
+// from explicit seeds.
+type Rand64 struct{ state uint64 }
+
+// NewRand64 returns a generator seeded with seed.
+func NewRand64(seed uint64) *Rand64 { return &Rand64{state: seed} }
+
+// Next returns the next pseudo-random 64-bit value.
+func (r *Rand64) Next() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Intn returns a pseudo-random int in [0, n). It panics if n <= 0.
+func (r *Rand64) Intn(n int) int {
+	if n <= 0 {
+		panic("logic: Intn with non-positive n")
+	}
+	return int(r.Next() % uint64(n))
+}
+
+// Bool returns a pseudo-random bool.
+func (r *Rand64) Bool() bool { return r.Next()&1 == 1 }

@@ -1,0 +1,426 @@
+package netlist
+
+import (
+	"fmt"
+
+	"repro/internal/logic"
+)
+
+// Builder constructs circuits incrementally, by name, with forward
+// references allowed (a gate may use a net that is defined later, which
+// netlist parsers and feedback paths through flip-flops require).
+// Build validates and freezes the result.
+type Builder struct {
+	name string
+
+	nodes []bNode
+	pos   []bPO
+	ids   map[string]NodeID
+
+	errs []error
+}
+
+type bNode struct {
+	name    string
+	kind    Kind
+	op      logic.Op
+	fanin   []Ref
+	seq     *bSeq
+	defined bool
+}
+
+type Ref struct {
+	ref string
+	inv bool
+}
+
+type bSeq struct {
+	d        Ref
+	clock    Clock
+	isLatch  bool
+	set, rst *Ref
+	ports    []struct{ en, d Ref }
+}
+
+type bPO struct {
+	name string
+	pin  Ref
+}
+
+// NewBuilder returns an empty builder for a circuit with the given name.
+func NewBuilder(name string) *Builder {
+	return &Builder{name: name, ids: make(map[string]NodeID)}
+}
+
+// P names a pin reference; use N for an inverted reference.
+func P(ref string) Ref { return Ref{ref: ref} }
+
+// N names an inverted pin reference (a bubble on the pin).
+func N(ref string) Ref { return Ref{ref: ref, inv: true} }
+
+func (b *Builder) declare(name string) NodeID {
+	if id, ok := b.ids[name]; ok {
+		return id
+	}
+	id := NodeID(len(b.nodes))
+	b.nodes = append(b.nodes, bNode{name: name})
+	b.ids[name] = id
+	return id
+}
+
+func (b *Builder) define(name string, kind Kind) *bNode {
+	id := b.declare(name)
+	n := &b.nodes[id]
+	if n.defined {
+		b.errs = append(b.errs, fmt.Errorf("node %q defined twice", name))
+		return n
+	}
+	n.defined = true
+	n.kind = kind
+	return n
+}
+
+// PI declares a primary input.
+func (b *Builder) PI(name string) {
+	b.define(name, KindPI)
+}
+
+// Gate defines a combinational gate computing op over the given pins.
+func (b *Builder) Gate(name string, op logic.Op, pins ...Ref) {
+	n := b.define(name, KindGate)
+	n.op = op
+	n.fanin = append([]Ref(nil), pins...)
+	switch op {
+	case logic.OpBuf, logic.OpNot:
+		if len(pins) != 1 {
+			b.errs = append(b.errs, fmt.Errorf("gate %q: %v requires exactly 1 input, got %d", name, op, len(pins)))
+		}
+	case logic.OpConst0, logic.OpConst1:
+		if len(pins) != 0 {
+			b.errs = append(b.errs, fmt.Errorf("gate %q: %v takes no inputs", name, op))
+		}
+	default:
+		if len(pins) < 1 {
+			b.errs = append(b.errs, fmt.Errorf("gate %q: %v requires inputs", name, op))
+		}
+	}
+}
+
+// DFF defines an edge-triggered flip-flop capturing pin d in the given
+// clock domain/phase.
+func (b *Builder) DFF(name string, d Ref, clk Clock) {
+	n := b.define(name, KindDFF)
+	n.seq = &bSeq{d: d, clock: clk}
+}
+
+// Latch defines a level-sensitive latch capturing pin d.
+func (b *Builder) Latch(name string, d Ref, clk Clock) {
+	n := b.define(name, KindLatch)
+	n.seq = &bSeq{d: d, clock: clk, isLatch: true}
+}
+
+// SetNet attaches an asynchronous set net to a previously defined
+// sequential element.
+func (b *Builder) SetNet(ff string, pin Ref) {
+	if s := b.seqOf(ff, "SetNet"); s != nil {
+		s.set = &pin
+	}
+}
+
+// ResetNet attaches an asynchronous reset net to a previously defined
+// sequential element.
+func (b *Builder) ResetNet(ff string, pin Ref) {
+	if s := b.seqOf(ff, "ResetNet"); s != nil {
+		s.rst = &pin
+	}
+}
+
+// AddPort adds an extra write port (enable, data) to a latch, making it a
+// multi-port latch.
+func (b *Builder) AddPort(ff string, enable, data Ref) {
+	if s := b.seqOf(ff, "AddPort"); s != nil {
+		s.ports = append(s.ports, struct{ en, d Ref }{enable, data})
+	}
+}
+
+func (b *Builder) seqOf(name, opName string) *bSeq {
+	id, ok := b.ids[name]
+	if !ok || b.nodes[id].seq == nil {
+		b.errs = append(b.errs, fmt.Errorf("%s: %q is not a defined sequential element", opName, name))
+		return nil
+	}
+	return b.nodes[id].seq
+}
+
+// PO declares a primary output observing the given pin.
+func (b *Builder) PO(name string, pin Ref) {
+	b.pos = append(b.pos, bPO{name: name, pin: pin})
+}
+
+func (b *Builder) resolve(p Ref, ctx string) (Pin, error) {
+	id, ok := b.ids[p.ref]
+	if !ok {
+		return Pin{Node: InvalidNode}, fmt.Errorf("%s references undefined net %q", ctx, p.ref)
+	}
+	return Pin{Node: id, Inv: p.inv}, nil
+}
+
+// Build validates the netlist and returns the frozen circuit. It fails if
+// any net is undefined or multiply defined, a gate has the wrong arity, or
+// the combinational logic contains a cycle.
+func (b *Builder) Build() (*Circuit, error) {
+	errs := append([]error(nil), b.errs...)
+	fail := func(format string, args ...any) {
+		errs = append(errs, fmt.Errorf(format, args...))
+	}
+
+	c := &Circuit{
+		Name:   b.name,
+		Nodes:  make([]Node, len(b.nodes)),
+		byName: make(map[string]NodeID, len(b.nodes)),
+	}
+
+	for id := range b.nodes {
+		bn := &b.nodes[id]
+		n := &c.Nodes[id]
+		n.Name = bn.name
+		n.Kind = bn.kind
+		n.Op = bn.op
+		c.byName[bn.name] = NodeID(id)
+
+		n.FaninStart = int32(len(c.pins))
+		for _, p := range bn.fanin {
+			rp, err := b.resolve(p, "gate "+bn.name)
+			if err != nil {
+				fail("%v", err)
+				continue
+			}
+			c.pins = append(c.pins, rp)
+		}
+		n.FaninEnd = int32(len(c.pins))
+
+		switch bn.kind {
+		case KindPI:
+			c.PIs = append(c.PIs, NodeID(id))
+		case KindDFF, KindLatch:
+			c.Seqs = append(c.Seqs, NodeID(id))
+			si := &SeqInfo{Clock: bn.seq.clock, SetNet: Pin{Node: InvalidNode}, ResetNet: Pin{Node: InvalidNode}}
+			d, err := b.resolve(bn.seq.d, "element "+bn.name)
+			if err != nil {
+				fail("%v", err)
+			}
+			si.D = d
+			if bn.seq.set != nil {
+				if p, err := b.resolve(*bn.seq.set, "set of "+bn.name); err != nil {
+					fail("%v", err)
+				} else {
+					si.SetNet = p
+				}
+			}
+			if bn.seq.rst != nil {
+				if p, err := b.resolve(*bn.seq.rst, "reset of "+bn.name); err != nil {
+					fail("%v", err)
+				} else {
+					si.ResetNet = p
+				}
+			}
+			for _, pt := range bn.seq.ports {
+				en, err1 := b.resolve(pt.en, "port enable of "+bn.name)
+				d, err2 := b.resolve(pt.d, "port data of "+bn.name)
+				if err1 != nil || err2 != nil {
+					if err1 != nil {
+						fail("%v", err1)
+					}
+					if err2 != nil {
+						fail("%v", err2)
+					}
+					continue
+				}
+				si.Ports = append(si.Ports, Port{Enable: en, Data: d})
+			}
+			n.Seq = si
+		}
+	}
+
+	for _, po := range b.pos {
+		p, err := b.resolve(po.pin, "output "+po.name)
+		if err != nil {
+			fail("%v", err)
+			continue
+		}
+		c.POs = append(c.POs, PO{Name: po.name, Pin: p})
+	}
+
+	if len(errs) > 0 {
+		return nil, joinErrors(errs)
+	}
+
+	buildFanouts(c)
+	if err := levelize(c); err != nil {
+		return nil, err
+	}
+	assignClasses(c)
+	return c, nil
+}
+
+// MustBuild is Build for hand-written circuits in tests and examples.
+func (b *Builder) MustBuild() *Circuit {
+	c, err := b.Build()
+	if err != nil {
+		panic("netlist: " + err.Error())
+	}
+	return c
+}
+
+func joinErrors(errs []error) error {
+	if len(errs) == 1 {
+		return errs[0]
+	}
+	msg := errs[0].Error()
+	for _, e := range errs[1:min(len(errs), 8)] {
+		msg += "; " + e.Error()
+	}
+	if len(errs) > 8 {
+		msg += fmt.Sprintf("; (+%d more)", len(errs)-8)
+	}
+	return fmt.Errorf("%s", msg)
+}
+
+// sinkPins enumerates every pin through which node `sink` consumes values.
+func sinkPins(c *Circuit, sink NodeID, visit func(src NodeID)) {
+	n := &c.Nodes[sink]
+	for _, p := range c.pins[n.FaninStart:n.FaninEnd] {
+		visit(p.Node)
+	}
+	if n.Seq != nil {
+		visit(n.Seq.D.Node)
+		if n.Seq.HasSet() {
+			visit(n.Seq.SetNet.Node)
+		}
+		if n.Seq.HasReset() {
+			visit(n.Seq.ResetNet.Node)
+		}
+		for _, pt := range n.Seq.Ports {
+			visit(pt.Enable.Node)
+			visit(pt.Data.Node)
+		}
+	}
+}
+
+func buildFanouts(c *Circuit) {
+	counts := make([]int32, len(c.Nodes))
+	for id := range c.Nodes {
+		sinkPins(c, NodeID(id), func(src NodeID) { counts[src]++ })
+	}
+	total := int32(0)
+	for id := range c.Nodes {
+		c.Nodes[id].FanoutStart = total
+		total += counts[id]
+		c.Nodes[id].FanoutEnd = c.Nodes[id].FanoutStart
+	}
+	c.fanouts = make([]NodeID, total)
+	for id := range c.Nodes {
+		sinkPins(c, NodeID(id), func(src NodeID) {
+			s := &c.Nodes[src]
+			c.fanouts[s.FanoutEnd] = NodeID(id)
+			s.FanoutEnd++
+		})
+	}
+}
+
+// levelize computes combinational levels and the evaluation order, treating
+// sequential outputs and PIs as sources. It reports combinational cycles.
+func levelize(c *Circuit) error {
+	// Kahn's algorithm over combinational fanin edges only: gate->gate
+	// edges constrain order; PI/seq sources are immediately available.
+	indeg := make([]int32, len(c.Nodes))
+	for id := range c.Nodes {
+		n := &c.Nodes[id]
+		if n.Kind != KindGate {
+			indeg[id] = 0
+			continue
+		}
+		d := int32(0)
+		for _, p := range c.pins[n.FaninStart:n.FaninEnd] {
+			if c.Nodes[p.Node].Kind == KindGate {
+				d++
+			}
+		}
+		indeg[id] = d
+	}
+
+	queue := make([]NodeID, 0, len(c.Nodes))
+	for id := range c.Nodes {
+		if c.Nodes[id].Kind == KindGate && indeg[id] == 0 {
+			queue = append(queue, NodeID(id))
+		}
+	}
+	order := make([]NodeID, 0, len(c.Nodes))
+	for len(queue) > 0 {
+		id := queue[0]
+		queue = queue[1:]
+		order = append(order, id)
+
+		n := &c.Nodes[id]
+		lvl := int32(0)
+		for _, p := range c.pins[n.FaninStart:n.FaninEnd] {
+			if l := c.Nodes[p.Node].Level; l >= lvl {
+				lvl = l + 1
+			}
+		}
+		if n.FaninEnd == n.FaninStart {
+			lvl = 0 // constant gate
+		}
+		n.Level = lvl
+
+		for _, out := range c.Fanouts(id) {
+			if c.Nodes[out].Kind != KindGate {
+				continue
+			}
+			// Fanout lists carry one entry per consuming pin, so each
+			// entry accounts for exactly one fanin edge.
+			indeg[out]--
+			if indeg[out] == 0 {
+				queue = append(queue, NodeID(out))
+				indeg[out] = -1 // guard against duplicate enqueue
+			}
+		}
+	}
+
+	gates := 0
+	for id := range c.Nodes {
+		if c.Nodes[id].Kind == KindGate {
+			gates++
+		}
+	}
+	if len(order) != gates {
+		for id := range c.Nodes {
+			if c.Nodes[id].Kind == KindGate && indeg[id] > 0 {
+				return fmt.Errorf("combinational cycle through gate %q", c.Nodes[id].Name)
+			}
+		}
+		return fmt.Errorf("combinational cycle detected")
+	}
+	c.evalOrder = order
+	return nil
+}
+
+func assignClasses(c *Circuit) {
+	type key struct {
+		clk     Clock
+		isLatch bool
+	}
+	idx := map[key]int32{}
+	for _, id := range c.Seqs {
+		n := &c.Nodes[id]
+		k := key{clk: n.Seq.Clock, isLatch: n.Kind == KindLatch}
+		cls, ok := idx[k]
+		if !ok {
+			cls = int32(len(c.classes))
+			idx[k] = cls
+			c.classes = append(c.classes, nil)
+		}
+		n.Seq.Class = cls
+		c.classes[cls] = append(c.classes[cls], id)
+	}
+}

@@ -1,0 +1,112 @@
+// Package report renders aligned text tables and CSV for the experiment
+// harness, in the layout of the paper's tables.
+package report
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table accumulates rows and renders them aligned.
+type Table struct {
+	Title   string
+	headers []string
+	rows    [][]string
+}
+
+// New creates a table with the given title and column headers.
+func New(title string, headers ...string) *Table {
+	return &Table{Title: title, headers: headers}
+}
+
+// Row appends a row; cells are formatted with %v.
+func (t *Table) Row(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.2f", v)
+		default:
+			row[i] = fmt.Sprint(c)
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+// Render writes the table in the chosen format ("csv" or aligned text).
+func (t *Table) Render(w io.Writer, format string) error {
+	if format == "csv" {
+		return t.CSV(w)
+	}
+	return t.Fprint(w)
+}
+
+// Fprint writes the aligned table.
+func (t *Table) Fprint(w io.Writer) error {
+	widths := make([]int, len(t.headers))
+	for i, h := range t.headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var sb strings.Builder
+	if t.Title != "" {
+		sb.WriteString(t.Title + "\n")
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			// Right-align everything but the first column.
+			if i == 0 {
+				sb.WriteString(c + strings.Repeat(" ", widths[i]-len(c)))
+			} else {
+				sb.WriteString(strings.Repeat(" ", widths[i]-len(c)) + c)
+			}
+		}
+		sb.WriteString("\n")
+	}
+	line(t.headers)
+	total := 0
+	for _, w := range widths {
+		total += w + 2
+	}
+	sb.WriteString(strings.Repeat("-", total-2) + "\n")
+	for _, row := range t.rows {
+		line(row)
+	}
+	_, err := io.WriteString(w, sb.String())
+	return err
+}
+
+// CSV writes the table as comma-separated values.
+func (t *Table) CSV(w io.Writer) error {
+	var sb strings.Builder
+	esc := func(s string) string {
+		if strings.ContainsAny(s, ",\"\n") {
+			return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+		}
+		return s
+	}
+	cells := make([]string, len(t.headers))
+	for i, h := range t.headers {
+		cells[i] = esc(h)
+	}
+	sb.WriteString(strings.Join(cells, ",") + "\n")
+	for _, row := range t.rows {
+		cells = cells[:0]
+		for _, c := range row {
+			cells = append(cells, esc(c))
+		}
+		sb.WriteString(strings.Join(cells, ",") + "\n")
+	}
+	_, err := io.WriteString(w, sb.String())
+	return err
+}

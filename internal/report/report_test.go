@@ -1,0 +1,78 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableAlignment(t *testing.T) {
+	tb := New("Title", "Name", "Count")
+	tb.Row("short", 1)
+	tb.Row("much-longer-name", 123456)
+	var sb strings.Builder
+	if err := tb.Fprint(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if lines[0] != "Title" {
+		t.Errorf("title line = %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "Name") {
+		t.Errorf("header = %q", lines[1])
+	}
+	// All data lines must be equally wide (aligned columns).
+	if len(lines[3]) != len(lines[4]) {
+		t.Errorf("misaligned rows:\n%q\n%q", lines[3], lines[4])
+	}
+	if !strings.HasSuffix(lines[3], "1") || !strings.HasSuffix(lines[4], "123456") {
+		t.Errorf("right alignment broken:\n%q\n%q", lines[3], lines[4])
+	}
+}
+
+func TestFloatFormatting(t *testing.T) {
+	tb := New("", "A", "B")
+	tb.Row("x", 1.23456)
+	var sb strings.Builder
+	if err := tb.Fprint(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "1.23") || strings.Contains(sb.String(), "1.2345") {
+		t.Errorf("float not formatted to 2 places: %q", sb.String())
+	}
+}
+
+func TestCSV(t *testing.T) {
+	tb := New("t", "A", "B")
+	tb.Row("plain", 1)
+	tb.Row(`with,comma "quoted"`, 2)
+	var sb strings.Builder
+	if err := tb.CSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(sb.String(), "\n"), "\n")
+	if lines[0] != "A,B" {
+		t.Errorf("header = %q", lines[0])
+	}
+	if lines[1] != "plain,1" {
+		t.Errorf("row 1 = %q", lines[1])
+	}
+	if lines[2] != `"with,comma ""quoted""",2` {
+		t.Errorf("row 2 = %q", lines[2])
+	}
+}
+
+func TestRender(t *testing.T) {
+	tb := New("t", "Alpha", "Beta")
+	tb.Row("x", "y")
+	var text, csv strings.Builder
+	if err := tb.Render(&text, "text"); err != nil {
+		t.Fatal(err)
+	}
+	if err := tb.Render(&csv, "csv"); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(text.String(), "---") || strings.Contains(csv.String(), "---") {
+		t.Error("Render format selection broken")
+	}
+}

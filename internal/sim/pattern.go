@@ -1,0 +1,103 @@
+package sim
+
+import (
+	"repro/internal/logic"
+	"repro/internal/netlist"
+)
+
+// PatternSim evaluates the combinational logic of a circuit over 64 random
+// binary patterns in parallel, treating primary inputs and sequential
+// outputs as free pseudo-inputs. Tied gates can be folded in as constants.
+// It is the signature machine behind gate-equivalence identification
+// (paper Section 3.1: "Equivalent combinational gates can be efficiently
+// identified based on parallel pattern simulation techniques").
+type PatternSim struct {
+	c     *netlist.Circuit
+	words []uint64 // signature word per node
+}
+
+// NewPatternSim returns a parallel-pattern simulator for c.
+func NewPatternSim(c *netlist.Circuit) *PatternSim {
+	return &PatternSim{c: c, words: make([]uint64, c.NumNodes())}
+}
+
+// Round fills every pseudo-input with 64 fresh random patterns from r,
+// folds ties in as constants, evaluates the combinational logic, and
+// returns the per-node words (aliased; valid until the next Round).
+func (p *PatternSim) Round(r *logic.Rand64, ties map[netlist.NodeID]logic.V) []uint64 {
+	for _, id := range p.c.PIs {
+		p.words[id] = r.Next()
+	}
+	for _, id := range p.c.Seqs {
+		p.words[id] = r.Next()
+	}
+	for n, v := range ties {
+		if v == logic.One {
+			p.words[n] = ^uint64(0)
+		} else {
+			p.words[n] = 0
+		}
+	}
+	var buf [16]uint64
+	for _, id := range p.c.EvalOrder() {
+		if _, tied := ties[id]; tied {
+			continue
+		}
+		n := &p.c.Nodes[id]
+		fanin := p.c.Fanin(id)
+		vals := buf[:0]
+		if cap(vals) < len(fanin) {
+			vals = make([]uint64, 0, len(fanin))
+		}
+		for _, pin := range fanin {
+			w := p.words[pin.Node]
+			if pin.Inv {
+				w = ^w
+			}
+			vals = append(vals, w)
+		}
+		p.words[id] = logic.BEvalSlice(n.Op, vals)
+	}
+	return p.words
+}
+
+// EvalWith evaluates the combinational logic with caller-chosen pseudo-input
+// words (for exhaustive verification over a bounded support). inputs maps
+// pseudo-input nodes to their words; ties are folded as constants; every
+// unlisted pseudo-input gets word 0.
+func (p *PatternSim) EvalWith(inputs map[netlist.NodeID]uint64, ties map[netlist.NodeID]logic.V) []uint64 {
+	for _, id := range p.c.PIs {
+		p.words[id] = inputs[id]
+	}
+	for _, id := range p.c.Seqs {
+		p.words[id] = inputs[id]
+	}
+	for n, v := range ties {
+		if v == logic.One {
+			p.words[n] = ^uint64(0)
+		} else {
+			p.words[n] = 0
+		}
+	}
+	var buf [16]uint64
+	for _, id := range p.c.EvalOrder() {
+		if _, tied := ties[id]; tied {
+			continue
+		}
+		n := &p.c.Nodes[id]
+		fanin := p.c.Fanin(id)
+		vals := buf[:0]
+		if cap(vals) < len(fanin) {
+			vals = make([]uint64, 0, len(fanin))
+		}
+		for _, pin := range fanin {
+			w := p.words[pin.Node]
+			if pin.Inv {
+				w = ^w
+			}
+			vals = append(vals, w)
+		}
+		p.words[id] = logic.BEvalSlice(n.Op, vals)
+	}
+	return p.words
+}

@@ -1,0 +1,659 @@
+package sim
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/logic"
+	"repro/internal/netlist"
+)
+
+// chain builds: PI a -> g1=BUF(a) -> f1=DFF(g1) -> g2=NOT(f1) -> f2=DFF(g2) -> PO
+func chain(t *testing.T) *netlist.Circuit {
+	t.Helper()
+	b := netlist.NewBuilder("chain")
+	b.PI("a")
+	b.Gate("g1", logic.OpBuf, netlist.P("a"))
+	b.DFF("f1", netlist.P("g1"), netlist.Clock{})
+	b.Gate("g2", logic.OpNot, netlist.P("f1"))
+	b.DFF("f2", netlist.P("g2"), netlist.Clock{})
+	b.PO("o", netlist.P("f2"))
+	return b.MustBuild()
+}
+
+func TestEngineChainPropagation(t *testing.T) {
+	c := chain(t)
+	e := NewEngine(c)
+	res := e.Run([]Injection{{Frame: 0, Node: c.MustLookup("a"), Val: logic.One}}, Options{})
+	if res.Conflict {
+		t.Fatal("unexpected conflict")
+	}
+	// Frame 0: a=1, g1=1. Frame 1: f1=1, g2=0. Frame 2: f2=0.
+	if len(res.Frames) != 3 {
+		t.Fatalf("frames = %d, want 3 (then state dies out)", len(res.Frames))
+	}
+	if got := res.Frames[0].Get(c.MustLookup("g1")); got != logic.One {
+		t.Errorf("g1@0 = %v", got)
+	}
+	if got := res.Frames[1].Get(c.MustLookup("f1")); got != logic.One {
+		t.Errorf("f1@1 = %v", got)
+	}
+	if got := res.Frames[1].Get(c.MustLookup("g2")); got != logic.Zero {
+		t.Errorf("g2@1 = %v", got)
+	}
+	if got := res.Frames[2].Get(c.MustLookup("f2")); got != logic.Zero {
+		t.Errorf("f2@2 = %v", got)
+	}
+	if !res.StoppedEarly {
+		t.Error("expected early stop once state dies out")
+	}
+}
+
+func TestEngineReuse(t *testing.T) {
+	c := chain(t)
+	e := NewEngine(c)
+	if e.Circuit() != c {
+		t.Fatal("Circuit() identity")
+	}
+	for i := 0; i < 3; i++ {
+		v := logic.One
+		if i%2 == 1 {
+			v = logic.Zero
+		}
+		res := e.Run([]Injection{{Frame: 0, Node: c.MustLookup("a"), Val: v}}, Options{})
+		if got := res.Frames[2].Get(c.MustLookup("f2")); got != v.Not() {
+			t.Fatalf("run %d: f2@2 = %v, want %v", i, got, v.Not())
+		}
+	}
+}
+
+// selfLoop builds F = DFF(OR(a, F)): once 1, stays 1.
+func selfLoop(t *testing.T) *netlist.Circuit {
+	t.Helper()
+	b := netlist.NewBuilder("loop")
+	b.PI("a")
+	b.Gate("g", logic.OpOr, netlist.P("a"), netlist.P("f"))
+	b.DFF("f", netlist.P("g"), netlist.Clock{})
+	b.PO("o", netlist.P("f"))
+	return b.MustBuild()
+}
+
+func TestEngineEarlyStopOnRepeatedState(t *testing.T) {
+	c := selfLoop(t)
+	e := NewEngine(c)
+	res := e.Run([]Injection{{Frame: 0, Node: c.MustLookup("a"), Val: logic.One}}, Options{MaxFrames: 50})
+	if !res.StoppedEarly {
+		t.Fatal("self-loop must stop early on repeated state")
+	}
+	// Frame 0: a=1,g=1. Frame 1: f=1, g=1. Frame 2 would repeat.
+	if len(res.Frames) != 2 {
+		t.Fatalf("frames = %d, want 2", len(res.Frames))
+	}
+	res = e.Run([]Injection{{Frame: 0, Node: c.MustLookup("a"), Val: logic.One}},
+		Options{MaxFrames: 7, NoEarlyStop: true})
+	if res.StoppedEarly || len(res.Frames) != 7 {
+		t.Fatalf("NoEarlyStop: frames = %d stopped=%v", len(res.Frames), res.StoppedEarly)
+	}
+}
+
+func TestEngineConflict(t *testing.T) {
+	// g = AND(a, b); inject a=1, b=1 and g=0: conflict in frame 0.
+	b := netlist.NewBuilder("confl")
+	b.PI("a")
+	b.PI("b")
+	b.Gate("g", logic.OpAnd, netlist.P("a"), netlist.P("b"))
+	b.PO("o", netlist.P("g"))
+	c := b.MustBuild()
+	e := NewEngine(c)
+	res := e.Run([]Injection{
+		{Frame: 0, Node: c.MustLookup("a"), Val: logic.One},
+		{Frame: 0, Node: c.MustLookup("b"), Val: logic.One},
+		{Frame: 0, Node: c.MustLookup("g"), Val: logic.Zero},
+	}, Options{})
+	if !res.Conflict {
+		t.Fatal("expected conflict")
+	}
+	if res.ConflictFrame != 0 {
+		t.Errorf("conflict frame = %d", res.ConflictFrame)
+	}
+	// No conflict when consistent.
+	res = e.Run([]Injection{
+		{Frame: 0, Node: c.MustLookup("a"), Val: logic.One},
+		{Frame: 0, Node: c.MustLookup("g"), Val: logic.Zero},
+	}, Options{})
+	if res.Conflict {
+		t.Fatal("unexpected conflict")
+	}
+	// Backward info is not derived (forward simulation only): b stays X.
+	if got := res.Frames[0].Get(c.MustLookup("b")); got != logic.X {
+		t.Errorf("b = %v, want X (no backward implication)", got)
+	}
+}
+
+func TestEngineTies(t *testing.T) {
+	// g = OR(a, t) where t is tied to 0; injecting a=0 resolves g only
+	// when the tie is supplied.
+	b := netlist.NewBuilder("ties")
+	b.PI("a")
+	b.PI("x")
+	b.Gate("t", logic.OpAnd, netlist.P("x"), netlist.N("x")) // tied 0
+	b.Gate("g", logic.OpOr, netlist.P("a"), netlist.P("t"))
+	b.PO("o", netlist.P("g"))
+	c := b.MustBuild()
+	e := NewEngine(c)
+	inj := []Injection{{Frame: 0, Node: c.MustLookup("a"), Val: logic.Zero}}
+	res := e.Run(inj, Options{})
+	if got := res.Frames[0].Get(c.MustLookup("g")); got != logic.X {
+		t.Fatalf("without tie, g = %v, want X", got)
+	}
+	e.SetTies(map[netlist.NodeID]logic.V{c.MustLookup("t"): logic.Zero})
+	res = e.Run(inj, Options{})
+	if got := res.Frames[0].Get(c.MustLookup("g")); got != logic.Zero {
+		t.Fatalf("with tie, g = %v, want 0", got)
+	}
+	// A contradicting injection on a tied node conflicts immediately.
+	res = e.Run([]Injection{{Frame: 0, Node: c.MustLookup("t"), Val: logic.One}}, Options{})
+	if !res.Conflict {
+		t.Fatal("injection against a tie must conflict")
+	}
+	e.SetTies(nil)
+	res = e.Run([]Injection{{Frame: 0, Node: c.MustLookup("t"), Val: logic.One}}, Options{})
+	if res.Conflict {
+		t.Fatal("SetTies(nil) must clear the constants")
+	}
+}
+
+func TestEngineEquivalencePropagation(t *testing.T) {
+	// g1 and g2 are declared equivalent; setting g1 must set g2 and
+	// propagate through g3 = NOT(g2).
+	b := netlist.NewBuilder("eq")
+	b.PI("a")
+	b.PI("b")
+	b.Gate("g1", logic.OpAnd, netlist.P("a"), netlist.P("b"))
+	b.Gate("g2", logic.OpAnd, netlist.P("b"), netlist.P("a"))
+	b.Gate("g3", logic.OpNot, netlist.P("g2"))
+	b.PO("o", netlist.P("g3"))
+	c := b.MustBuild()
+	e := NewEngine(c)
+	g1, g2, g3 := c.MustLookup("g1"), c.MustLookup("g2"), c.MustLookup("g3")
+	inj := []Injection{{Frame: 0, Node: c.MustLookup("a"), Val: logic.Zero}}
+	// Without equivalence g2 also resolves here (shared input), so use
+	// injection directly on g1 to isolate the mechanism.
+	inj = []Injection{{Frame: 0, Node: g1, Val: logic.One}}
+	res := e.Run(inj, Options{})
+	if res.Frames[0].Get(g2) != logic.X {
+		t.Fatal("setup broken: g2 must be X without equivalence")
+	}
+	res = e.Run(inj, Options{Equiv: map[netlist.NodeID][]EqPartner{g1: {{Node: g2}}}})
+	if res.Frames[0].Get(g2) != logic.One {
+		t.Fatal("equivalence did not propagate g1 -> g2")
+	}
+	if res.Frames[0].Get(g3) != logic.Zero {
+		t.Fatal("equivalence result did not feed forward into g3")
+	}
+	// Inverted partner.
+	res = e.Run(inj, Options{Equiv: map[netlist.NodeID][]EqPartner{g1: {{Node: g2, Inv: true}}}})
+	if res.Frames[0].Get(g2) != logic.Zero {
+		t.Fatal("inverted equivalence broken")
+	}
+}
+
+func TestEngineScheduledInjections(t *testing.T) {
+	c := chain(t)
+	e := NewEngine(c)
+	res := e.Run([]Injection{
+		{Frame: 0, Node: c.MustLookup("a"), Val: logic.One},
+		{Frame: 1, Node: c.MustLookup("a"), Val: logic.Zero},
+	}, Options{})
+	if res.Frames[1].Get(c.MustLookup("g1")) != logic.Zero {
+		t.Error("frame-1 injection not applied")
+	}
+	if res.Frames[2].Get(c.MustLookup("f1")) != logic.Zero {
+		t.Error("frame-1 injection did not reach f1 at frame 2")
+	}
+	// Early stop must not trigger before the last injection frame.
+	if len(res.Frames) < 3 {
+		t.Fatalf("frames = %d", len(res.Frames))
+	}
+}
+
+func srCircuit(t *testing.T) *netlist.Circuit {
+	t.Helper()
+	b := netlist.NewBuilder("sr")
+	b.PI("d")
+	b.PI("s")
+	b.PI("r")
+	b.Gate("zero", logic.OpConst0)
+	b.DFF("fPlain", netlist.P("d"), netlist.Clock{})
+	b.DFF("fSet", netlist.P("d"), netlist.Clock{})
+	b.SetNet("fSet", netlist.P("s"))
+	b.DFF("fReset", netlist.P("d"), netlist.Clock{})
+	b.ResetNet("fReset", netlist.P("r"))
+	b.DFF("fBoth", netlist.P("d"), netlist.Clock{})
+	b.SetNet("fBoth", netlist.P("s"))
+	b.ResetNet("fBoth", netlist.P("r"))
+	b.DFF("fConstr", netlist.P("d"), netlist.Clock{})
+	b.SetNet("fConstr", netlist.P("zero"))
+	b.Latch("lMulti", netlist.P("d"), netlist.Clock{})
+	b.AddPort("lMulti", netlist.P("s"), netlist.P("r"))
+	b.PO("o1", netlist.P("fPlain"))
+	b.PO("o2", netlist.P("fSet"))
+	b.PO("o3", netlist.P("fReset"))
+	b.PO("o4", netlist.P("fBoth"))
+	b.PO("o5", netlist.P("fConstr"))
+	b.PO("o6", netlist.P("lMulti"))
+	return b.MustBuild()
+}
+
+func TestPropModes(t *testing.T) {
+	c := srCircuit(t)
+	modes := PropModes(c, nil, -1)
+	want := map[string]PropMode{
+		"fPlain":  PropBoth,
+		"fSet":    Prop1Only,
+		"fReset":  Prop0Only,
+		"fBoth":   PropNone,
+		"fConstr": PropBoth, // set net is constant 0: constrained
+		"lMulti":  PropNone, // multi-port latch
+	}
+	for i, id := range c.Seqs {
+		name := c.NameOf(id)
+		if modes[i] != want[name] {
+			t.Errorf("%s: mode %v, want %v", name, modes[i], want[name])
+		}
+	}
+}
+
+func TestPropModesClassGating(t *testing.T) {
+	b := netlist.NewBuilder("cls")
+	b.PI("d")
+	b.DFF("f1", netlist.P("d"), netlist.Clock{Domain: 0})
+	b.DFF("f2", netlist.P("d"), netlist.Clock{Domain: 1})
+	b.PO("o", netlist.P("f1"))
+	b.PO("o2", netlist.P("f2"))
+	c := b.MustBuild()
+	cls := c.Nodes[c.MustLookup("f1")].Seq.Class
+	modes := PropModes(c, nil, cls)
+	for i, id := range c.Seqs {
+		wantMode := PropBoth
+		if c.Nodes[id].Seq.Class != cls {
+			wantMode = PropNone
+		}
+		if modes[i] != wantMode {
+			t.Errorf("%s: mode %v, want %v", c.NameOf(id), modes[i], wantMode)
+		}
+	}
+}
+
+func TestPropModesWithTiedSetNet(t *testing.T) {
+	// Set net driven by a gate that learning tied to 0: constrained.
+	b := netlist.NewBuilder("tsr")
+	b.PI("d")
+	b.PI("x")
+	b.Gate("t", logic.OpAnd, netlist.P("x"), netlist.N("x"))
+	b.DFF("f", netlist.P("d"), netlist.Clock{})
+	b.SetNet("f", netlist.P("t"))
+	b.PO("o", netlist.P("f"))
+	c := b.MustBuild()
+	modes := PropModes(c, nil, -1)
+	if modes[0] != Prop1Only {
+		t.Fatalf("without tie knowledge: %v, want Prop1Only", modes[0])
+	}
+	ties := map[netlist.NodeID]logic.V{c.MustLookup("t"): logic.Zero}
+	modes = PropModes(c, ties, -1)
+	if modes[0] != PropBoth {
+		t.Fatalf("with tie knowledge: %v, want PropBoth", modes[0])
+	}
+	// An inverted pin from a tied-0 gate is constant 1: unconstrained.
+	b2 := netlist.NewBuilder("tsr2")
+	b2.PI("d")
+	b2.PI("x")
+	b2.Gate("t", logic.OpAnd, netlist.P("x"), netlist.N("x"))
+	b2.DFF("f", netlist.P("d"), netlist.Clock{})
+	b2.SetNet("f", netlist.N("t"))
+	b2.PO("o", netlist.P("f"))
+	c2 := b2.MustBuild()
+	ties2 := map[netlist.NodeID]logic.V{c2.MustLookup("t"): logic.Zero}
+	if m := PropModes(c2, ties2, -1); m[0] != Prop1Only {
+		t.Fatalf("inverted tied set net must stay unconstrained: %v", m[0])
+	}
+}
+
+func TestEnginePropGating(t *testing.T) {
+	c := srCircuit(t)
+	e := NewEngine(c)
+	inj := []Injection{{Frame: 0, Node: c.MustLookup("d"), Val: logic.One}}
+	modes := PropModes(c, nil, -1)
+	res := e.Run(inj, Options{PropModes: modes})
+	f1 := res.Frames[1]
+	if f1.Get(c.MustLookup("fPlain")) != logic.One {
+		t.Error("fPlain must capture 1")
+	}
+	if f1.Get(c.MustLookup("fSet")) != logic.One {
+		t.Error("fSet must pass 1 (matches set value)")
+	}
+	if f1.Get(c.MustLookup("fReset")) != logic.X {
+		t.Error("fReset must block 1")
+	}
+	if f1.Get(c.MustLookup("fBoth")) != logic.X {
+		t.Error("fBoth must block everything")
+	}
+	if f1.Get(c.MustLookup("lMulti")) != logic.X {
+		t.Error("multi-port latch must block everything")
+	}
+
+	inj[0].Val = logic.Zero
+	res = e.Run(inj, Options{PropModes: modes})
+	f1 = res.Frames[1]
+	if f1.Get(c.MustLookup("fSet")) != logic.X {
+		t.Error("fSet must block 0")
+	}
+	if f1.Get(c.MustLookup("fReset")) != logic.Zero {
+		t.Error("fReset must pass 0")
+	}
+}
+
+func TestFuncSimBasics(t *testing.T) {
+	c := chain(t)
+	s := NewFuncSim(c)
+	s.Reset(nil)
+	s.Step([]logic.V{logic.One})
+	if s.Value(c.MustLookup("g1")) != logic.One {
+		t.Error("g1")
+	}
+	s.Step([]logic.V{logic.Zero})
+	if s.Value(c.MustLookup("f1")) != logic.One || s.Value(c.MustLookup("g2")) != logic.Zero {
+		t.Error("frame 2 values wrong")
+	}
+	s.Step([]logic.V{logic.Zero})
+	if s.Output(0) != logic.Zero {
+		t.Errorf("output = %v", s.Output(0))
+	}
+	outs := s.Outputs(nil)
+	if len(outs) != 1 || outs[0] != logic.Zero {
+		t.Errorf("Outputs = %v", outs)
+	}
+}
+
+func TestFuncSimSetReset(t *testing.T) {
+	c := srCircuit(t)
+	s := NewFuncSim(c)
+	s.Reset(nil)
+	pi := func(d, set, r logic.V) []logic.V { return []logic.V{d, set, r} }
+	// set=1 forces 1 regardless of d.
+	s.Step(pi(logic.Zero, logic.One, logic.Zero))
+	st := s.State()
+	idx := map[string]int{}
+	for i, id := range c.Seqs {
+		idx[c.NameOf(id)] = i
+	}
+	if st[idx["fSet"]] != logic.One {
+		t.Error("set must force 1")
+	}
+	if st[idx["fBoth"]] != logic.One {
+		t.Error("set priority on fBoth")
+	}
+	if st[idx["fPlain"]] != logic.Zero {
+		t.Error("fPlain unaffected")
+	}
+	// reset=1 forces 0.
+	s.Step(pi(logic.One, logic.Zero, logic.One))
+	st = s.State()
+	if st[idx["fReset"]] != logic.Zero || st[idx["fBoth"]] != logic.Zero {
+		t.Error("reset must force 0")
+	}
+	// X on set with d=0: pessimistic X.
+	s.Step(pi(logic.Zero, logic.X, logic.Zero))
+	st = s.State()
+	if st[idx["fSet"]] != logic.X {
+		t.Error("X set with disagreeing d must give X")
+	}
+	// X on set with d=1: still 1.
+	s.Step(pi(logic.One, logic.X, logic.Zero))
+	st = s.State()
+	if st[idx["fSet"]] != logic.One {
+		t.Error("X set with agreeing d must give 1")
+	}
+	// Multi-port latch: port enable s writes port data r.
+	s.Step(pi(logic.Zero, logic.One, logic.One))
+	st = s.State()
+	if st[idx["lMulti"]] != logic.One {
+		t.Errorf("multi-port write: got %v", st[idx["lMulti"]])
+	}
+}
+
+func TestFuncSimFault(t *testing.T) {
+	c := chain(t)
+	s := NewFuncSim(c)
+	s.Reset(nil)
+	s.SetFault(c.MustLookup("g1"), logic.Zero) // g1 stuck-at-0
+	s.Step([]logic.V{logic.One})
+	if s.Value(c.MustLookup("g1")) != logic.Zero {
+		t.Error("fault not forced")
+	}
+	s.SetFault(netlist.InvalidNode, logic.X)
+	s.Step([]logic.V{logic.One})
+	if s.Value(c.MustLookup("g1")) != logic.One {
+		t.Error("fault not cleared")
+	}
+}
+
+// TestEngineSoundnessVsFuncSim is the key simulation property: anything the
+// scheduled engine derives from an injection must hold in every functional
+// binary run that satisfies the injection.
+func TestEngineSoundnessVsFuncSim(t *testing.T) {
+	c := randomTestCircuit(123, 40, 8, 4)
+	e := NewEngine(c)
+	r := logic.NewRand64(99)
+	for trial := 0; trial < 60; trial++ {
+		pi := c.PIs[r.Intn(len(c.PIs))]
+		val := logic.FromBool(r.Bool())
+		res := e.Run([]Injection{{Frame: 0, Node: pi, Val: val}}, Options{MaxFrames: 10})
+		if res.Conflict {
+			t.Fatal("single-injection run cannot conflict")
+		}
+		// A functional run with that PI pinned and everything else random
+		// binary must agree with every derived value.
+		f := NewFuncSim(c)
+		init := make([]logic.V, len(c.Seqs))
+		for i := range init {
+			init[i] = logic.FromBool(r.Bool())
+		}
+		f.Reset(init)
+		for frameN, frame := range res.Frames {
+			pis := make([]logic.V, len(c.PIs))
+			for i := range pis {
+				pis[i] = logic.FromBool(r.Bool())
+			}
+			for i, id := range c.PIs {
+				if id == pi && frameN == 0 {
+					pis[i] = val
+				}
+			}
+			f.Step(pis)
+			for _, a := range frame {
+				got := f.Value(a.Node)
+				if got != a.Val {
+					t.Fatalf("trial %d frame %d: engine derived %s=%v, functional run has %v",
+						trial, frameN, c.NameOf(a.Node), a.Val, got)
+				}
+			}
+		}
+	}
+}
+
+// randomTestCircuit builds a deterministic random sequential circuit for
+// property tests (gen provides richer generators; this keeps sim
+// self-contained).
+func randomTestCircuit(seed uint64, nGates, nPIs, nFFs int) *netlist.Circuit {
+	r := logic.NewRand64(seed)
+	b := netlist.NewBuilder(fmt.Sprintf("rand%d", seed))
+	var names []string
+	for i := 0; i < nPIs; i++ {
+		n := fmt.Sprintf("i%d", i)
+		b.PI(n)
+		names = append(names, n)
+	}
+	for i := 0; i < nFFs; i++ {
+		names = append(names, fmt.Sprintf("f%d", i))
+	}
+	ops := []logic.Op{logic.OpAnd, logic.OpOr, logic.OpNand, logic.OpNor, logic.OpNot, logic.OpXor}
+	for i := 0; i < nGates; i++ {
+		n := fmt.Sprintf("g%d", i)
+		op := ops[r.Intn(len(ops))]
+		arity := 2
+		if op == logic.OpNot {
+			arity = 1
+		} else if r.Intn(4) == 0 {
+			arity = 3
+		}
+		refs := make([]netlist.Ref, 0, arity)
+		for k := 0; k < arity; k++ {
+			name := names[r.Intn(len(names))]
+			if r.Intn(3) == 0 {
+				refs = append(refs, netlist.N(name))
+			} else {
+				refs = append(refs, netlist.P(name))
+			}
+		}
+		b.Gate(n, op, refs...)
+		names = append(names, n)
+	}
+	for i := 0; i < nFFs; i++ {
+		src := fmt.Sprintf("g%d", nGates-1-i)
+		b.DFF(fmt.Sprintf("f%d", i), netlist.P(src), netlist.Clock{})
+	}
+	b.PO("out", netlist.P(fmt.Sprintf("g%d", nGates-1)))
+	c, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+func TestFormatFrame(t *testing.T) {
+	c := chain(t)
+	e := NewEngine(c)
+	res := e.Run([]Injection{{Frame: 0, Node: c.MustLookup("a"), Val: logic.One}}, Options{})
+	a := c.MustLookup("a")
+	s := FormatFrame(c, res.Frames[0], map[netlist.NodeID]bool{a: true})
+	if s != "g1=1" {
+		t.Errorf("FormatFrame = %q", s)
+	}
+	if FormatFrame(c, nil, nil) != "{}" {
+		t.Error("empty frame must render {}")
+	}
+}
+
+// TestPatternSimMatchesFuncSim: the 64-way binary pattern simulator must
+// agree lane-by-lane with the functional simulator on the combinational
+// frame.
+func TestPatternSimMatchesFuncSim(t *testing.T) {
+	c := randomTestCircuit(31, 35, 6, 4)
+	ps := NewPatternSim(c)
+	r := logic.NewRand64(8)
+	words := ps.Round(r, nil)
+
+	f := NewFuncSim(c)
+	for lane := 0; lane < 8; lane++ { // spot-check 8 of the 64 lanes
+		init := make([]logic.V, len(c.Seqs))
+		for i, id := range c.Seqs {
+			init[i] = logic.FromBool(words[id]&(1<<uint(lane)) != 0)
+		}
+		f.Reset(init)
+		pis := make([]logic.V, len(c.PIs))
+		for i, id := range c.PIs {
+			pis[i] = logic.FromBool(words[id]&(1<<uint(lane)) != 0)
+		}
+		f.Step(pis)
+		for _, id := range c.EvalOrder() {
+			want := logic.FromBool(words[id]&(1<<uint(lane)) != 0)
+			if got := f.Value(id); got != want {
+				t.Fatalf("lane %d node %s: pattern %v functional %v", lane, c.NameOf(id), want, got)
+			}
+		}
+	}
+}
+
+// TestPatternSimTieFold: tied nodes carry their constant in every lane.
+func TestPatternSimTieFold(t *testing.T) {
+	c := randomTestCircuit(32, 20, 5, 3)
+	ps := NewPatternSim(c)
+	r := logic.NewRand64(9)
+	tied := c.EvalOrder()[0]
+	ties := map[netlist.NodeID]logic.V{tied: logic.One}
+	words := ps.Round(r, ties)
+	if words[tied] != ^uint64(0) {
+		t.Fatal("tie not folded as constant 1")
+	}
+	words = ps.EvalWith(map[netlist.NodeID]uint64{c.PIs[0]: 5}, ties)
+	if words[tied] != ^uint64(0) {
+		t.Fatal("EvalWith did not fold the tie")
+	}
+}
+
+// TestFuncSimPartialClocking: gated-off elements hold their state.
+func TestFuncSimPartialClocking(t *testing.T) {
+	c := chain(t)
+	s := NewFuncSim(c)
+	s.Reset(nil)
+	s.Step([]logic.V{logic.One}) // f1 <- 1
+	hold := make([]bool, len(c.Seqs))
+	s.StepPartial([]logic.V{logic.Zero}, hold) // everything gated off
+	idx := map[string]int{}
+	for i, id := range c.Seqs {
+		idx[c.NameOf(id)] = i
+	}
+	if s.State()[idx["f1"]] != logic.One {
+		t.Fatal("gated-off flip-flop did not hold")
+	}
+	all := []bool{true, true}
+	s.StepPartial([]logic.V{logic.Zero}, all)
+	if s.State()[idx["f1"]] != logic.Zero {
+		t.Fatal("clocked flip-flop did not capture")
+	}
+}
+
+// TestEngineInjectionMonotonicity: adding an injection can only refine a
+// run — every value derived without it must persist (or the run must
+// conflict), mirroring three-valued monotonicity at the engine level.
+func TestEngineInjectionMonotonicity(t *testing.T) {
+	f := func(seed uint64, pickA, pickB uint8, valA, valB bool) bool {
+		c := randomTestCircuit(1000+seed%7, 30, 5, 4)
+		e := NewEngine(c)
+		a := c.PIs[int(pickA)%len(c.PIs)]
+		b := c.PIs[int(pickB)%len(c.PIs)]
+		if a == b {
+			return true
+		}
+		base := e.Run([]Injection{{Frame: 0, Node: a, Val: logic.FromBool(valA)}},
+			Options{MaxFrames: 6})
+		if base.Conflict {
+			return false // single PI injection cannot conflict
+		}
+		more := e.Run([]Injection{
+			{Frame: 0, Node: a, Val: logic.FromBool(valA)},
+			{Frame: 0, Node: b, Val: logic.FromBool(valB)},
+		}, Options{MaxFrames: 6})
+		if more.Conflict {
+			return false // two distinct PI injections cannot conflict
+		}
+		for t0, frame := range base.Frames {
+			if t0 >= len(more.Frames) {
+				// The refined run may stop earlier only by the early-stop
+				// rule; values it did derive must still agree below.
+				break
+			}
+			for _, asg := range frame {
+				if got := more.Frames[t0].Get(asg.Node); got != asg.Val {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
