@@ -7,6 +7,7 @@ package repro_test
 import (
 	"fmt"
 	"io"
+	"runtime"
 	"testing"
 
 	"repro/internal/atpg"
@@ -128,6 +129,28 @@ func BenchmarkTable5ATPG(b *testing.B) {
 				}
 			})
 		}
+	}
+}
+
+// BenchmarkParallelLearning tracks the sharded learning pipeline: serial
+// (Parallelism: 1) against one worker per core on a mid-size suite
+// circuit. Results are bit-identical (see learn's determinism tests); only
+// the wall clock differs.
+func BenchmarkParallelLearning(b *testing.B) {
+	c := gen.MustBuild("s5378")
+	counts := []int{1}
+	if n := runtime.GOMAXPROCS(0); n > 1 {
+		counts = append(counts, n)
+	}
+	for _, p := range counts {
+		b.Run(fmt.Sprintf("workers-%d", p), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				lr := learn.Learn(c, learn.Options{Parallelism: p, SkipComb: true})
+				if lr.DB.Len() == 0 {
+					b.Fatal("no relations learned")
+				}
+			}
+		})
 	}
 }
 

@@ -29,6 +29,7 @@ func main() {
 		limit     = flag.Int("backtracks", 30, "backtrack limit per window")
 		maxFaults = flag.Int("max-faults", 0, "truncate the fault list (0 = all)")
 		maxWin    = flag.Int("max-window", 8, "largest time-frame window")
+		workers   = flag.Int("j", 0, "learning workers (0 = one per core, 1 = serial; results identical)")
 	)
 	flag.Parse()
 
@@ -50,7 +51,7 @@ func main() {
 		os.Exit(1)
 	}
 
-	lr := learn.Learn(c, learn.Options{})
+	lr := learn.Learn(c, learn.Options{Parallelism: *workers})
 	var ties []learn.Tie
 	ties = append(ties, lr.CombTies...)
 	ties = append(ties, lr.SeqTies...)

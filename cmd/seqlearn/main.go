@@ -29,6 +29,7 @@ func main() {
 		singleOnly = flag.Bool("single-only", false, "single-node learning only")
 		skipComb   = flag.Bool("skip-comb", false, "skip the combinational learning pass")
 		maxFrames  = flag.Int("max-frames", 0, "simulation frame cap (default 50)")
+		workers    = flag.Int("j", 0, "learning workers (0 = one per core, 1 = serial; results identical)")
 	)
 	flag.Parse()
 
@@ -42,6 +43,7 @@ func main() {
 		SingleNodeOnly: *singleOnly,
 		SkipComb:       *skipComb,
 		MaxFrames:      *maxFrames,
+		Parallelism:    *workers,
 	})
 	ffff, gateFF, _ := res.DB.Counts(true)
 	fmt.Printf("%s: %s\n", c.Name, c.Stats())

@@ -68,8 +68,10 @@ type Options struct {
 	// Mode selects the use of learned data.
 	Mode Mode
 
-	// DB is the learned relation database (may be nil).
-	DB *imply.DB
+	// DB is the frozen snapshot of the learned relation database (may be
+	// nil). Being immutable, one snapshot can back any number of
+	// concurrent Generate calls.
+	DB *imply.Snapshot
 
 	// Ties are the learned tied gates with their validity frames.
 	Ties []learn.Tie
@@ -193,7 +195,7 @@ func litKey(l imply.Lit) int {
 	return k
 }
 
-func buildRelIndex(c *netlist.Circuit, db *imply.DB, mode Mode, crossFrame bool) *relIndex {
+func buildRelIndex(c *netlist.Circuit, db *imply.Snapshot, mode Mode, crossFrame bool) *relIndex {
 	ri := &relIndex{
 		implied: make([][]relTarget, 2*c.NumNodes()),
 		cross:   make([][]crossTarget, 2*c.NumNodes()),

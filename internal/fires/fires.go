@@ -105,7 +105,7 @@ func TieUntestable(c *netlist.Circuit, lr *learn.Result) *Result {
 
 // Fires runs the stem-conflict analysis.
 func Fires(c *netlist.Circuit, lr *learn.Result, opt Options) *Result {
-	var db *imply.DB
+	var db *imply.Snapshot
 	var ties map[netlist.NodeID]logic.V
 	if lr != nil {
 		ties = lr.Ties
@@ -244,7 +244,7 @@ func reach(c *netlist.Circuit, n netlist.NodeID) []bool {
 type analyzer struct {
 	c    *netlist.Circuit
 	ties map[netlist.NodeID]logic.V
-	db   *imply.DB
+	db   *imply.Snapshot
 
 	values  []logic.V
 	touched []netlist.NodeID
@@ -253,7 +253,7 @@ type analyzer struct {
 	bad     bool
 }
 
-func newAnalyzer(c *netlist.Circuit, ties map[netlist.NodeID]logic.V, db *imply.DB) *analyzer {
+func newAnalyzer(c *netlist.Circuit, ties map[netlist.NodeID]logic.V, db *imply.Snapshot) *analyzer {
 	return &analyzer{
 		c:       c,
 		ties:    ties,

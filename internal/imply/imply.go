@@ -9,6 +9,12 @@
 //
 // Same-frame (dt == 0) relations between sequential elements are
 // *invalid-state relations*: A ∧ ¬B is an unreachable state pattern.
+//
+// The package splits the database into a mutable builder (DB), which the
+// learner populates, and a frozen, immutable view (Snapshot, produced by
+// DB.Freeze), which every consumer reads. The snapshot stores sorted
+// slices plus a dense same-frame index — no maps on the read path — and is
+// safe for any number of concurrent readers without locks.
 package imply
 
 import (
@@ -75,28 +81,46 @@ const (
 	GateGate             // no sequential endpoint
 )
 
-// DB is a deduplicating store of learned relations for one circuit. Every
-// relation carries a flag recording whether it is derivable in the
-// combinational logic alone (frame 0, no crossing of sequential elements);
-// the paper's Table 3 reports only the relations that are *not* (what only
-// sequential learning can extract), and the ATPG's no-sequential-learning
-// baseline uses only the ones that are.
+// litKey densely indexes a literal as 2*node+val for array-backed lookup
+// structures.
+func litKey(l Lit) int {
+	k := 2 * int(l.Node)
+	if l.Val == logic.One {
+		k++
+	}
+	return k
+}
+
+// relLess is the canonical relation order used by Relations and Snapshot.
+func relLess(a, b Relation) bool {
+	if a.Dt != b.Dt {
+		return a.Dt < b.Dt
+	}
+	if a.A != b.A {
+		return a.A.less(b.A)
+	}
+	return a.B.less(b.B)
+}
+
+// DB is a deduplicating store of learned relations for one circuit: the
+// mutable *builder* half of the implication database. Learning writes here;
+// concurrent readers (ATPG, FIRES, the harness) consume the frozen,
+// immutable Snapshot produced by Freeze. Every relation carries a flag
+// recording whether it is derivable in the combinational logic alone
+// (frame 0, no crossing of sequential elements); the paper's Table 3
+// reports only the relations that are *not* (what only sequential learning
+// can extract), and the ATPG's no-sequential-learning baseline uses only
+// the ones that are. A DB is not safe for concurrent use.
 type DB struct {
 	c   *netlist.Circuit
 	set map[Relation]relMeta
-
-	// sameFrame maps a literal to the literals it implies in the same
-	// frame (both stored direction and contrapositive), for consumption
-	// by the test generator.
-	sameFrame map[Lit][]Lit
 }
 
 // NewDB returns an empty relation database for c.
 func NewDB(c *netlist.Circuit) *DB {
 	return &DB{
-		c:         c,
-		set:       make(map[Relation]relMeta),
-		sameFrame: make(map[Lit][]Lit),
+		c:   c,
+		set: make(map[Relation]relMeta),
 	}
 }
 
@@ -140,10 +164,6 @@ func (db *DB) Add(a, b Lit, dt int, comb bool, depth int) bool {
 		return false
 	}
 	db.set[r] = relMeta{comb: comb, depth: int16(depth)}
-	if dt == 0 {
-		db.sameFrame[r.A] = append(db.sameFrame[r.A], r.B)
-		db.sameFrame[r.B.Not()] = append(db.sameFrame[r.B.Not()], r.A.Not())
-	}
 	return true
 }
 
@@ -170,14 +190,12 @@ func (db *DB) Has(a, b Lit, dt int) bool {
 // Len returns the number of stored (canonical) relations.
 func (db *DB) Len() int { return len(db.set) }
 
-// SameFrameImplied returns every literal implied by l within the same
-// frame. The returned slice aliases internal storage.
-func (db *DB) SameFrameImplied(l Lit) []Lit { return db.sameFrame[l] }
-
 // KindOf classifies a relation's endpoints.
-func (db *DB) KindOf(r Relation) Kind {
-	sa := db.c.IsSeq(r.A.Node)
-	sb := db.c.IsSeq(r.B.Node)
+func (db *DB) KindOf(r Relation) Kind { return kindOf(db.c, r) }
+
+func kindOf(c *netlist.Circuit, r Relation) Kind {
+	sa := c.IsSeq(r.A.Node)
+	sb := c.IsSeq(r.B.Node)
 	switch {
 	case sa && sb:
 		return FFFF
@@ -227,33 +245,30 @@ func (db *DB) Relations() []Relation {
 	for r := range db.set {
 		out = append(out, r)
 	}
-	sort.Slice(out, func(i, j int) bool {
-		a, b := out[i], out[j]
-		if a.Dt != b.Dt {
-			return a.Dt < b.Dt
-		}
-		if a.A != b.A {
-			return a.A.less(b.A)
-		}
-		return a.B.less(b.B)
-	})
+	sort.Slice(out, func(i, j int) bool { return relLess(out[i], out[j]) })
 	return out
 }
 
-// FormatLit renders a literal like "F6=1".
-func (db *DB) FormatLit(l Lit) string {
-	return fmt.Sprintf("%s=%s", db.c.NameOf(l.Node), l.Val)
+// formatLit and formatRelation are the one rendering implementation shared
+// by the builder and the snapshot.
+func formatLit(c *netlist.Circuit, l Lit) string {
+	return fmt.Sprintf("%s=%s", c.NameOf(l.Node), l.Val)
 }
 
-// FormatRelation renders a relation like "F6=1 -> F4=0" or, for cross-frame
-// relations, "F6=1 -> F4=0 @+2".
-func (db *DB) FormatRelation(r Relation) string {
-	s := db.FormatLit(r.A) + " -> " + db.FormatLit(r.B)
+func formatRelation(c *netlist.Circuit, r Relation) string {
+	s := formatLit(c, r.A) + " -> " + formatLit(c, r.B)
 	if r.Dt != 0 {
 		s += fmt.Sprintf(" @%+d", r.Dt)
 	}
 	return s
 }
+
+// FormatLit renders a literal like "F6=1".
+func (db *DB) FormatLit(l Lit) string { return formatLit(db.c, l) }
+
+// FormatRelation renders a relation like "F6=1 -> F4=0" or, for cross-frame
+// relations, "F6=1 -> F4=0 @+2".
+func (db *DB) FormatRelation(r Relation) string { return formatRelation(db.c, r) }
 
 // WriteText dumps all relations, one per line, sorted.
 func (db *DB) WriteText(w io.Writer) error {

@@ -108,16 +108,17 @@ func TestSameFrameImplied(t *testing.T) {
 	db.Add(f1one, g1one, 0, false, 0)
 	db.Add(g1one, f2zero, 1, false, 0) // cross-frame: not in same-frame index
 
-	got := db.SameFrameImplied(f1one)
+	s := db.Freeze()
+	got := s.SameFrameImplied(f1one)
 	if len(got) != 2 {
 		t.Fatalf("implied by f1=1: %v", got)
 	}
 	// Contrapositive direction: f2=1 ⟹ f1=0.
-	back := db.SameFrameImplied(f2zero.Not())
+	back := s.SameFrameImplied(f2zero.Not())
 	if len(back) != 1 || back[0] != f1one.Not() {
 		t.Fatalf("implied by f2=1: %v", back)
 	}
-	if db.SameFrameImplied(lit(c, "f2", logic.Zero)) != nil {
+	if len(s.SameFrameImplied(lit(c, "f2", logic.Zero))) != 0 {
 		t.Fatal("f2=0 implies nothing")
 	}
 }

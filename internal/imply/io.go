@@ -7,6 +7,7 @@ import (
 	"strings"
 
 	"repro/internal/logic"
+	"repro/internal/netlist"
 )
 
 // Serialize writes the database in a line-oriented format that Deserialize
@@ -20,15 +21,21 @@ import (
 func (db *DB) Serialize(w io.Writer) error {
 	bw := bufio.NewWriter(w)
 	for _, r := range db.Relations() {
-		m := db.set[r]
-		if _, err := fmt.Fprintf(bw, "%s %s %s %s %d %t %d\n",
-			db.c.NameOf(r.A.Node), r.A.Val,
-			db.c.NameOf(r.B.Node), r.B.Val,
-			r.Dt, m.comb, m.depth); err != nil {
+		if err := writeRelLine(bw, db.c, r, db.set[r]); err != nil {
 			return err
 		}
 	}
 	return bw.Flush()
+}
+
+// writeRelLine is the one implementation of the serialization line format,
+// shared by DB.Serialize and Snapshot.Serialize.
+func writeRelLine(w io.Writer, c *netlist.Circuit, r Relation, m relMeta) error {
+	_, err := fmt.Fprintf(w, "%s %s %s %s %d %t %d\n",
+		c.NameOf(r.A.Node), r.A.Val,
+		c.NameOf(r.B.Node), r.B.Val,
+		r.Dt, m.comb, m.depth)
+	return err
 }
 
 // Deserialize reads relations written by Serialize into db, resolving

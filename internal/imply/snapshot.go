@@ -1,0 +1,203 @@
+package imply
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/internal/logic"
+	"repro/internal/netlist"
+)
+
+// Snapshot is a frozen, immutable view of a relation database. It stores
+// the canonical relations as one sorted slice with parallel metadata and a
+// dense CSR same-frame index keyed by literal — no maps on the read path —
+// so any number of ATPG workers, analyses and report generators can share
+// one snapshot concurrently without locks.
+type Snapshot struct {
+	c    *netlist.Circuit
+	rels []Relation // canonical relations in relLess order
+	meta []relMeta  // parallel to rels
+
+	// Same-frame implications in CSR form: for literal key k (2*node+val),
+	// sfDst[sfOff[k]:sfOff[k+1]] lists the implied literals, sorted.
+	sfOff []int32
+	sfDst []Lit
+}
+
+// Freeze produces an immutable snapshot of the database's current
+// contents. The builder remains usable; later Adds do not affect the
+// returned snapshot.
+func (db *DB) Freeze() *Snapshot {
+	s := &Snapshot{c: db.c, rels: db.Relations()}
+	s.meta = make([]relMeta, len(s.rels))
+	for i, r := range s.rels {
+		s.meta[i] = db.set[r]
+	}
+
+	nk := 2 * db.c.NumNodes()
+	s.sfOff = make([]int32, nk+1)
+	for _, r := range s.rels {
+		if r.Dt != 0 {
+			continue
+		}
+		s.sfOff[litKey(r.A)+1]++
+		s.sfOff[litKey(r.B.Not())+1]++
+	}
+	for k := 0; k < nk; k++ {
+		s.sfOff[k+1] += s.sfOff[k]
+	}
+	s.sfDst = make([]Lit, s.sfOff[nk])
+	fill := make([]int32, nk)
+	for _, r := range s.rels {
+		if r.Dt != 0 {
+			continue
+		}
+		k := litKey(r.A)
+		s.sfDst[s.sfOff[k]+fill[k]] = r.B
+		fill[k]++
+		k = litKey(r.B.Not())
+		s.sfDst[s.sfOff[k]+fill[k]] = r.A.Not()
+		fill[k]++
+	}
+	for k := 0; k < nk; k++ {
+		bucket := s.sfDst[s.sfOff[k]:s.sfOff[k+1]]
+		sort.Slice(bucket, func(i, j int) bool { return bucket[i].less(bucket[j]) })
+	}
+	return s
+}
+
+// Circuit returns the owning circuit.
+func (s *Snapshot) Circuit() *netlist.Circuit { return s.c }
+
+// Len returns the number of stored (canonical) relations.
+func (s *Snapshot) Len() int { return len(s.rels) }
+
+// Relations returns all stored relations in canonical sorted order. The
+// returned slice is the snapshot's backing storage and must not be
+// modified.
+func (s *Snapshot) Relations() []Relation { return s.rels }
+
+// find binary-searches the canonical form of r.
+func (s *Snapshot) find(r Relation) (relMeta, bool) {
+	r = r.canonical()
+	i := sort.Search(len(s.rels), func(i int) bool { return !relLess(s.rels[i], r) })
+	if i < len(s.rels) && s.rels[i] == r {
+		return s.meta[i], true
+	}
+	return relMeta{}, false
+}
+
+// Has reports whether the relation (in either form) is present.
+func (s *Snapshot) Has(a, b Lit, dt int) bool {
+	_, ok := s.find(Relation{A: a, B: b, Dt: int16(dt)})
+	return ok
+}
+
+// IsCombinational reports whether the stored relation is derivable in the
+// combinational frame.
+func (s *Snapshot) IsCombinational(a, b Lit, dt int) bool {
+	m, _ := s.find(Relation{A: a, B: b, Dt: int16(dt)})
+	return m.comb
+}
+
+// DepthOf returns the history depth of the stored relation (0 if absent).
+func (s *Snapshot) DepthOf(a, b Lit, dt int) int {
+	m, _ := s.find(Relation{A: a, B: b, Dt: int16(dt)})
+	return int(m.depth)
+}
+
+// SameFrameImplied returns every literal implied by l within the same
+// frame, sorted by (node, value). The returned slice aliases the
+// snapshot's storage and must not be modified.
+func (s *Snapshot) SameFrameImplied(l Lit) []Lit {
+	k := litKey(l)
+	return s.sfDst[s.sfOff[k]:s.sfOff[k+1]]
+}
+
+// KindOf classifies a relation's endpoints.
+func (s *Snapshot) KindOf(r Relation) Kind { return kindOf(s.c, r) }
+
+// Counts tallies same-frame relations by kind, mirroring DB.Counts.
+func (s *Snapshot) Counts(seqOnly bool) (ffff, gateFF, gateGate int) {
+	for i, r := range s.rels {
+		if r.Dt != 0 || (seqOnly && s.meta[i].comb) {
+			continue
+		}
+		switch s.KindOf(r) {
+		case FFFF:
+			ffff++
+		case GateFF:
+			gateFF++
+		default:
+			gateGate++
+		}
+	}
+	return
+}
+
+// CrossFrame returns the number of stored relations with dt != 0.
+func (s *Snapshot) CrossFrame() int {
+	n := 0
+	for _, r := range s.rels {
+		if r.Dt != 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// FormatLit renders a literal like "F6=1".
+func (s *Snapshot) FormatLit(l Lit) string { return formatLit(s.c, l) }
+
+// FormatRelation renders a relation like "F6=1 -> F4=0" or, for
+// cross-frame relations, "F6=1 -> F4=0 @+2".
+func (s *Snapshot) FormatRelation(r Relation) string { return formatRelation(s.c, r) }
+
+// WriteText dumps all relations, one per line, sorted.
+func (s *Snapshot) WriteText(w io.Writer) error {
+	for _, r := range s.rels {
+		if _, err := fmt.Fprintln(w, s.FormatRelation(r)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Serialize writes the snapshot in the same line format as DB.Serialize;
+// DB.Deserialize reads it back. Because the relations are canonical and
+// sorted, equal snapshots serialize to byte-identical output.
+func (s *Snapshot) Serialize(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	for i, r := range s.rels {
+		if err := writeRelLine(bw, s.c, r, s.meta[i]); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// HasNamed is a test convenience: it resolves "A=1 -> B=0" style queries
+// against node names.
+func (s *Snapshot) HasNamed(aName string, aVal logic.V, bName string, bVal logic.V, dt int) bool {
+	an, ok1 := s.c.Lookup(aName)
+	bn, ok2 := s.c.Lookup(bName)
+	if !ok1 || !ok2 {
+		return false
+	}
+	return s.Has(Lit{an, aVal}, Lit{bn, bVal}, dt)
+}
+
+// InvalidStates derives one invalid-state pattern from every same-frame
+// FF-FF relation, mirroring DB.InvalidStates.
+func (s *Snapshot) InvalidStates() []InvalidStatePattern {
+	var out []InvalidStatePattern
+	for _, r := range s.rels {
+		if r.Dt != 0 || s.KindOf(r) != FFFF {
+			continue
+		}
+		out = append(out, InvalidStatePattern{Lits: []Lit{r.A, r.B.Not()}})
+	}
+	return out
+}

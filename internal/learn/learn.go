@@ -31,6 +31,7 @@
 package learn
 
 import (
+	"runtime"
 	"sort"
 	"time"
 
@@ -82,6 +83,16 @@ type Options struct {
 	// (default 1<<20); overflow is counted in Stats.PairsSkipped.
 	MaxPairsPerStem int
 
+	// Parallelism is the number of simulation workers sharding the
+	// single-node and multiple-node sweeps (0 selects
+	// runtime.GOMAXPROCS(0); 1 runs fully serial; oversized requests are
+	// clamped to a few workers per core). Each worker owns a cloned
+	// engine and records into a private shard; shards are merged in
+	// canonical order, so the learned relations, ties, equivalences,
+	// statistics and serialized database are bit-identical for every
+	// worker count.
+	Parallelism int
+
 	// Equiv tunes equivalence identification.
 	Equiv equiv.Options
 }
@@ -92,6 +103,19 @@ func (o *Options) defaults() {
 	}
 	if o.MaxPairsPerStem <= 0 {
 		o.MaxPairsPerStem = 1 << 20
+	}
+	if o.Parallelism <= 0 {
+		o.Parallelism = runtime.GOMAXPROCS(0)
+	}
+	// Cap the pool: beyond a few workers per core there is no speedup,
+	// only engine memory (each worker owns NumNodes-sized scratch). The
+	// floor keeps small machines able to exercise real concurrency.
+	limit := 4 * runtime.GOMAXPROCS(0)
+	if limit < 8 {
+		limit = 8
+	}
+	if o.Parallelism > limit {
+		o.Parallelism = limit
 	}
 }
 
@@ -129,7 +153,10 @@ type Stats struct {
 
 // Result is the outcome of Learn.
 type Result struct {
-	DB   *imply.DB
+	// DB is the frozen, immutable snapshot of every learned relation; it
+	// is safe for any number of concurrent readers (ATPG workers, FIRES,
+	// report generation) without locks.
+	DB   *imply.Snapshot
 	Ties map[netlist.NodeID]logic.V
 
 	// CombTies and SeqTies are the tied gates sorted by name.
@@ -161,8 +188,12 @@ type record struct {
 type learner struct {
 	c   *netlist.Circuit
 	opt Options
-	eng *sim.Engine
+	db  *imply.DB // mutable builder, frozen into res.DB by finish
 	res *Result
+
+	// engines holds one scheduled simulator per worker; engines[0] doubles
+	// as the serial engine. Tie constants are kept in sync via setTies.
+	engines []*sim.Engine
 
 	// records per class: observed literal -> producing stem assignments.
 	records []map[imply.Lit][]record
@@ -192,10 +223,15 @@ func Learn(c *netlist.Circuit, opt Options) *Result {
 	l := &learner{
 		c:        c,
 		opt:      opt,
-		eng:      sim.NewEngine(c),
-		res:      &Result{DB: imply.NewDB(c), Ties: map[netlist.NodeID]logic.V{}},
+		db:       imply.NewDB(c),
+		res:      &Result{Ties: map[netlist.NodeID]logic.V{}},
 		tieFrame: map[netlist.NodeID]int{},
 		rowCache: map[rowKey]*sim.Result{},
+	}
+	l.engines = make([]*sim.Engine, opt.Parallelism)
+	l.engines[0] = sim.NewEngine(c)
+	for i := 1; i < len(l.engines); i++ {
+		l.engines[i] = l.engines[0].Clone()
 	}
 	l.dFeeder = make([]bool, c.NumNodes())
 	for _, id := range c.Seqs {
@@ -219,16 +255,16 @@ func Learn(c *netlist.Circuit, opt Options) *Result {
 	}
 
 	// Phase 3: multiple-node learning per clock class. Tie constants are
-	// installed on the engine once per pass (read-through, closed under
-	// constant propagation).
+	// installed on every worker engine once per pass (read-through, closed
+	// under constant propagation).
 	if !opt.SingleNodeOnly {
-		l.eng.SetTies(l.tiesForSim())
+		l.setTies(l.tiesForSim())
 		for i, cls := range classes {
 			l.multiNode(cls, l.records[i])
 		}
 		for iter := 0; opt.TieFixpoint && iter < 3; iter++ {
 			before := len(l.res.Ties)
-			l.eng.SetTies(l.tiesForSim())
+			l.setTies(l.tiesForSim())
 			for i, cls := range classes {
 				l.multiNode(cls, l.records[i])
 			}
@@ -237,7 +273,7 @@ func Learn(c *netlist.Circuit, opt Options) *Result {
 				break
 			}
 		}
-		l.eng.SetTies(nil)
+		l.setTies(nil)
 	}
 
 	// Phase 4: classical combinational learning, which (a) feeds the
@@ -252,7 +288,7 @@ func Learn(c *netlist.Circuit, opt Options) *Result {
 				combTies[n] = v
 			}
 		}
-		for _, tie := range Combinational(c, l.res.DB, combTies) {
+		for _, tie := range Combinational(c, l.db, combTies) {
 			l.addTie(tie.Node, tie.Val, 0)
 		}
 	}
@@ -300,28 +336,46 @@ func (l *learner) stemsFor(cls int32) []netlist.NodeID {
 	return out
 }
 
-// singleNode runs the single-node learning phase for one class.
+// singleNode runs the single-node learning phase for one class: the stem
+// injections are sharded over the worker pool, then recorded by a serial
+// merge in stem order, so the outcome is identical to a serial sweep.
 func (l *learner) singleNode(cls int32, records map[imply.Lit][]record) {
 	modes := sim.PropModes(l.c, nil, cls)
 	stems := l.stemsFor(cls)
 	l.res.Stats.Stems += len(stems)
 
-	multiClass := len(l.c.Classes()) > 1
-	for _, s := range stems {
-		var rows [2]sim.Result
+	// Parallel sweep. The row cache is only ever hit across class passes
+	// (each stem appears once per pass), so it is frozen here and the
+	// workers read it lock-free; new entries are inserted by the merge.
+	type stemRows struct {
+		rows   [2]sim.Result
+		simmed [2]bool // false when served from the row cache
+	}
+	out := make([]stemRows, len(stems))
+	l.runParallel(len(stems), func(eng *sim.Engine, i int) {
+		s := stems[i]
 		for _, v := range []logic.V{logic.Zero, logic.One} {
-			var res sim.Result
-			key := rowKey{stem: s, val: v}
-			if cached, ok := l.rowCache[key]; ok {
-				res = *cached
-			} else {
-				res = l.eng.Run(
-					[]sim.Injection{{Frame: 0, Node: s, Val: v}},
-					sim.Options{
-						MaxFrames:   l.opt.MaxFrames,
-						PropModes:   modes,
-						NoEarlyStop: l.opt.DisableEarlyStop,
-					})
+			if cached, ok := l.rowCache[rowKey{stem: s, val: v}]; ok {
+				out[i].rows[v-logic.Zero] = *cached
+				continue
+			}
+			out[i].simmed[v-logic.Zero] = true
+			out[i].rows[v-logic.Zero] = eng.Run(
+				[]sim.Injection{{Frame: 0, Node: s, Val: v}},
+				sim.Options{
+					MaxFrames:   l.opt.MaxFrames,
+					PropModes:   modes,
+					NoEarlyStop: l.opt.DisableEarlyStop,
+				})
+		}
+	})
+
+	// Deterministic merge.
+	multiClass := len(l.c.Classes()) > 1
+	for i, s := range stems {
+		for _, v := range []logic.V{logic.Zero, logic.One} {
+			res := out[i].rows[v-logic.Zero]
+			if out[i].simmed[v-logic.Zero] {
 				l.res.Stats.Sims++
 				l.res.Stats.Frames += len(res.Frames)
 				// A row whose frame-0 values reach no D-pin source can
@@ -337,11 +391,10 @@ func (l *learner) singleNode(cls int32, records map[imply.Lit][]record) {
 					}
 					if cacheable {
 						r := res
-						l.rowCache[key] = &r
+						l.rowCache[rowKey{stem: s, val: v}] = &r
 					}
 				}
 			}
-			rows[v-logic.Zero] = res
 			if l.opt.KeepRows {
 				l.res.Rows = append(l.res.Rows, StemRow{
 					Class: cls, Stem: s, Val: v,
@@ -360,12 +413,13 @@ func (l *learner) singleNode(cls int32, records map[imply.Lit][]record) {
 					records[lit] = append(records[lit], record{Stem: stemLit, Offset: t})
 					// Direct relation stem=v@0 ⟹ node=val@t.
 					if l.c.IsSeq(s) || l.c.IsSeq(a.Node) {
-						l.res.DB.Add(stemLit, lit, t, t == 0, t)
+						l.db.Add(stemLit, lit, t, t == 0, t)
 					}
 				}
 			}
 		}
-		l.pairRows(s, rows[0].Frames, rows[1].Frames)
+		l.pairRows(s, out[i].rows[0].Frames, out[i].rows[1].Frames)
+		out[i] = stemRows{} // release the frames as the merge advances
 	}
 }
 
@@ -407,7 +461,7 @@ func (l *learner) pairRows(s netlist.NodeID, row0, row1 []sim.Frame) {
 				}
 				la := imply.Lit{Node: a0.Node, Val: a0.Val}
 				lb := imply.Lit{Node: a1.Node, Val: a1.Val}
-				l.res.DB.Add(la.Not(), lb, 0, t == 0, t)
+				l.db.Add(la.Not(), lb, 0, t == 0, t)
 			}
 		}
 	}
@@ -429,7 +483,10 @@ func (l *learner) addTie(n netlist.NodeID, v logic.V, frame int) {
 	l.tieFrame[n] = frame
 }
 
-// multiNode runs the multiple-node learning phase for one class.
+// multiNode runs the multiple-node learning phase for one class. Targets
+// are independent within a pass (ties proven here are applied only
+// afterwards), so they shard over the worker pool; the serial merge in
+// sorted target order reproduces the serial pass exactly.
 func (l *learner) multiNode(cls int32, records map[imply.Lit][]record) {
 	ties := l.tiesForSim()
 	modes := sim.PropModes(l.c, ties, cls)
@@ -446,13 +503,24 @@ func (l *learner) multiNode(cls int32, records map[imply.Lit][]record) {
 		return targets[i].Val < targets[j].Val
 	})
 
-	// Ties proven during this pass are applied only afterwards, keeping
-	// the pass order-independent; TieFixpoint loops feed them back.
-	newTies := map[netlist.NodeID]Tie{}
-
-	for _, lit := range targets {
+	// Parallel sweep. Workers read l.res.Ties and records but never write
+	// shared state; every observation lands in the target's private shard.
+	type targetOut struct {
+		skip    bool // target node already tied: nothing to do
+		direct  bool // contradictory necessary assignments, no simulation
+		simmed  bool
+		clash   bool // simulation conflict: target impossible
+		frames  int
+		T       int
+		implied []imply.Lit // frame-T assignments implied by the target
+	}
+	out := make([]targetOut, len(targets))
+	l.runParallel(len(targets), func(eng *sim.Engine, i int) {
+		lit := targets[i]
+		o := &out[i]
 		if _, tied := l.res.Ties[lit.Node]; tied {
-			continue
+			o.skip = true
+			return
 		}
 		recs := records[lit]
 		target := lit.Not()
@@ -462,9 +530,9 @@ func (l *learner) multiNode(cls int32, records map[imply.Lit][]record) {
 				T = r.Offset
 			}
 		}
+		o.T = T
 		inj := make([]sim.Injection, 0, len(recs)+1)
 		seen := map[sim.Injection]bool{}
-		directConflict := false
 		for _, r := range recs {
 			in := sim.Injection{Frame: T - r.Offset, Node: r.Stem.Node, Val: r.Stem.Val.Not()}
 			if seen[in] {
@@ -473,42 +541,28 @@ func (l *learner) multiNode(cls int32, records map[imply.Lit][]record) {
 			// A contradictory necessary assignment proves the target
 			// impossible without simulating.
 			if seen[sim.Injection{Frame: in.Frame, Node: in.Node, Val: in.Val.Not()}] {
-				directConflict = true
-				break
+				o.direct = true
+				return
 			}
 			seen[in] = true
 			inj = append(inj, in)
 		}
-		l.res.Stats.Targets++
-		if directConflict {
-			l.res.Stats.Conflicts++
-			if _, dup := newTies[lit.Node]; !dup {
-				newTies[lit.Node] = Tie{Node: lit.Node, Val: lit.Val, Frame: T}
-			}
-			continue
-		}
 		inj = append(inj, sim.Injection{Frame: T, Node: target.Node, Val: target.Val})
 
-		res := l.eng.Run(inj, sim.Options{
+		res := eng.Run(inj, sim.Options{
 			MaxFrames:   T + 1,
 			Equiv:       l.partners,
 			PropModes:   modes,
 			NoEarlyStop: true,
 		})
-		l.res.Stats.Sims++
-		l.res.Stats.Frames += len(res.Frames)
-
+		o.simmed = true
+		o.frames = len(res.Frames)
 		if res.Conflict {
-			// The target assignment is impossible: lit.Node is tied to
-			// the observed value (paper Section 3.2).
-			l.res.Stats.Conflicts++
-			if _, dup := newTies[lit.Node]; !dup {
-				newTies[lit.Node] = Tie{Node: lit.Node, Val: lit.Val, Frame: T}
-			}
-			continue
+			o.clash = true
+			return
 		}
 		if len(res.Frames) <= T {
-			continue
+			return
 		}
 		for _, a := range res.Frames[T] {
 			if a.Node == target.Node {
@@ -520,8 +574,38 @@ func (l *learner) multiNode(cls int32, records map[imply.Lit][]record) {
 			if !l.c.IsSeq(target.Node) && !l.c.IsSeq(a.Node) {
 				continue
 			}
-			l.res.DB.Add(target, imply.Lit{Node: a.Node, Val: a.Val}, 0, T == 0, T)
+			o.implied = append(o.implied, imply.Lit{Node: a.Node, Val: a.Val})
 		}
+	})
+
+	// Deterministic merge. Ties proven during this pass are applied only
+	// afterwards, keeping the pass order-independent; TieFixpoint loops
+	// feed them back.
+	newTies := map[netlist.NodeID]Tie{}
+	for i, lit := range targets {
+		o := &out[i]
+		if o.skip {
+			continue
+		}
+		l.res.Stats.Targets++
+		if o.simmed {
+			l.res.Stats.Sims++
+			l.res.Stats.Frames += o.frames
+		}
+		if o.direct || o.clash {
+			// The target assignment is impossible: lit.Node is tied to
+			// the observed value (paper Section 3.2).
+			l.res.Stats.Conflicts++
+			if _, dup := newTies[lit.Node]; !dup {
+				newTies[lit.Node] = Tie{Node: lit.Node, Val: lit.Val, Frame: o.T}
+			}
+			continue
+		}
+		target := lit.Not()
+		for _, b := range o.implied {
+			l.db.Add(target, b, 0, o.T == 0, o.T)
+		}
+		out[i] = targetOut{}
 	}
 
 	for _, tie := range newTies {
@@ -529,8 +613,9 @@ func (l *learner) multiNode(cls int32, records map[imply.Lit][]record) {
 	}
 }
 
-// finish sorts the tie lists.
+// finish sorts the tie lists and freezes the relation database.
 func (l *learner) finish() {
+	l.res.DB = l.db.Freeze()
 	for n, v := range l.res.Ties {
 		tie := Tie{Node: n, Val: v, Frame: l.tieFrame[n]}
 		if tie.Frame == 0 {

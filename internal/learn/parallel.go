@@ -1,0 +1,54 @@
+package learn
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/logic"
+	"repro/internal/netlist"
+	"repro/internal/sim"
+)
+
+// runParallel dispatches fn(engine, i) for i in [0, n) over the learner's
+// worker pool. Each invocation gets a worker-private engine; items are
+// handed out by an atomic counter, so the assignment of items to workers
+// is arbitrary — callers must write only to item-private shards and merge
+// them in item order afterwards. With one engine (Parallelism: 1) the
+// sweep runs inline on the caller's goroutine.
+func (l *learner) runParallel(n int, fn func(eng *sim.Engine, i int)) {
+	if len(l.engines) == 1 || n <= 1 {
+		for i := 0; i < n; i++ {
+			fn(l.engines[0], i)
+		}
+		return
+	}
+	workers := len(l.engines)
+	if workers > n {
+		workers = n
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func(eng *sim.Engine) {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(eng, i)
+			}
+		}(l.engines[w])
+	}
+	wg.Wait()
+}
+
+// setTies installs the tie constants on every worker engine. The closure
+// under constant propagation is computed once and copied to the clones.
+func (l *learner) setTies(ties map[netlist.NodeID]logic.V) {
+	l.engines[0].SetTies(ties)
+	for _, e := range l.engines[1:] {
+		e.CopyTies(l.engines[0])
+	}
+}

@@ -16,7 +16,9 @@
 package sim
 
 import (
+	"cmp"
 	"fmt"
+	"slices"
 	"sort"
 
 	"repro/internal/logic"
@@ -109,7 +111,8 @@ type Result struct {
 
 // Engine is a reusable scheduled simulator for one circuit. It keeps its
 // scratch arrays between runs so that learning, which performs thousands of
-// runs, does not allocate per run. An Engine is not safe for concurrent use.
+// runs, does not allocate per run. An Engine is not safe for concurrent
+// use; Clone gives each concurrent worker its own engine cheaply.
 type Engine struct {
 	c *netlist.Circuit
 
@@ -123,25 +126,51 @@ type Engine struct {
 	// cheaper than re-asserting them into every frame of every run.
 	tieVal []logic.V
 
-	seqIndex map[netlist.NodeID]int // node -> index in c.Seqs
+	// Run scratch, reused across runs: the frame-sorted injection buffer
+	// and the sequential-state double buffer (dense Seqs indices).
+	injBuf         []Injection
+	stateA, stateB []seqAssign
 
 	conflict     bool
 	conflictNode netlist.NodeID
 }
 
+// seqAssign is a captured sequential-element value, keyed by the element's
+// dense index in Circuit.Seqs. Lists of seqAssign are always kept in index
+// order, so state comparison is a plain slice walk.
+type seqAssign struct {
+	seq int32
+	val logic.V
+}
+
 // NewEngine returns a scheduled simulator for c.
 func NewEngine(c *netlist.Circuit) *Engine {
-	e := &Engine{
-		c:        c,
-		values:   make([]logic.V, c.NumNodes()),
-		inQueue:  make([]bool, c.NumNodes()),
-		seqIndex: make(map[netlist.NodeID]int, len(c.Seqs)),
+	return &Engine{
+		c:       c,
+		values:  make([]logic.V, c.NumNodes()),
+		inQueue: make([]bool, c.NumNodes()),
+		tieVal:  make([]logic.V, c.NumNodes()),
 	}
-	for i, id := range c.Seqs {
-		e.seqIndex[id] = i
+}
+
+// Clone returns an independent engine for the same circuit with its own
+// scratch state. Tie constants installed via SetTies are copied, so a pool
+// of workers can be cloned from one configured engine; the clone and the
+// receiver may then run concurrently (the circuit itself is read-only).
+func (e *Engine) Clone() *Engine {
+	ne := NewEngine(e.c)
+	copy(ne.tieVal, e.tieVal)
+	return ne
+}
+
+// CopyTies copies the tie constants (with their constant-propagation
+// closure) from src, which must simulate the same circuit. It is the
+// cheap way to refresh a worker pool after SetTies on one engine.
+func (e *Engine) CopyTies(src *Engine) {
+	if src.c != e.c {
+		panic("sim: CopyTies across different circuits")
 	}
-	e.tieVal = make([]logic.V, c.NumNodes())
-	return e
+	copy(e.tieVal, src.tieVal)
 }
 
 // SetTies installs tied-gate constants (nil clears them). The constants
@@ -295,36 +324,44 @@ func (e *Engine) Run(inj []Injection, opt Options) Result {
 	if opt.MaxFrames <= 0 {
 		opt.MaxFrames = DefaultMaxFrames
 	}
-	// Group injections by frame.
+	// Stable frame-sort of the injections into reusable scratch;
+	// within-frame order is preserved.
+	e.injBuf = append(e.injBuf[:0], inj...)
+	slices.SortStableFunc(e.injBuf, func(a, b Injection) int { return cmp.Compare(a.Frame, b.Frame) })
 	maxInjFrame := 0
-	byFrame := map[int][]Injection{}
-	for _, in := range inj {
-		byFrame[in.Frame] = append(byFrame[in.Frame], in)
-		if in.Frame > maxInjFrame {
-			maxInjFrame = in.Frame
-		}
+	if n := len(e.injBuf); n > 0 && e.injBuf[n-1].Frame > 0 {
+		maxInjFrame = e.injBuf[n-1].Frame
 	}
+	injNext := 0
 
 	var res Result
 	e.conflict = false
 	e.resetFrame()
 
-	// state holds the next-frame values of sequential elements, sparsely.
-	state := map[netlist.NodeID]logic.V{}
-	var prevState []Assign
+	// state holds the sequential values entering the current frame, next
+	// the gated captures leaving it; both live in the engine's reusable
+	// double buffer and are always in dense Seqs-index order.
+	state := e.stateA[:0]
+	next := e.stateB[:0]
+	defer func() { e.stateA, e.stateB = state, next }()
 
 	for t := 0; t < opt.MaxFrames; t++ {
 		// 1. Seed the frame: previous state and injections (tie constants
 		// are read through permanently).
 		ok := true
-		for n, v := range state {
-			if !e.assign(n, v, &opt) {
+		for _, sa := range state {
+			if !e.assign(e.c.Seqs[sa.seq], sa.val, &opt) {
 				ok = false
 				break
 			}
 		}
 		if ok {
-			for _, in := range byFrame[t] {
+			for injNext < len(e.injBuf) && e.injBuf[injNext].Frame < t {
+				injNext++ // unreachable frames (e.g. negative) are dropped
+			}
+			for injNext < len(e.injBuf) && e.injBuf[injNext].Frame == t {
+				in := e.injBuf[injNext]
+				injNext++
 				if !e.assign(in.Node, in.Val, &opt) {
 					ok = false
 					break
@@ -348,11 +385,12 @@ func (e *Engine) Run(inj []Injection, opt Options) Result {
 		for _, n := range e.touched {
 			frame = append(frame, Assign{Node: n, Val: e.values[n]})
 		}
-		sort.Slice(frame, func(i, j int) bool { return frame[i].Node < frame[j].Node })
+		slices.SortFunc(frame, func(a, b Assign) int { return cmp.Compare(a.Node, b.Node) })
 		res.Frames = append(res.Frames, frame)
 
-		// 4. Capture the next state with propagation gating.
-		nextState := map[netlist.NodeID]logic.V{}
+		// 4. Capture the next state with propagation gating (Seqs order, so
+		// the list is sorted by construction).
+		next = next[:0]
 		for i, id := range e.c.Seqs {
 			si := e.c.Nodes[id].Seq
 			v := e.val(si.D.Node)
@@ -378,23 +416,19 @@ func (e *Engine) Run(inj []Injection, opt Options) Result {
 					continue
 				}
 			}
-			nextState[id] = v
+			next = append(next, seqAssign{seq: int32(i), val: v})
 		}
 
 		// 5. Early stop when the state repeats and no injections remain.
-		stateList := make([]Assign, 0, len(nextState))
-		for n, v := range nextState {
-			stateList = append(stateList, Assign{Node: n, Val: v})
-		}
-		sort.Slice(stateList, func(i, j int) bool { return stateList[i].Node < stateList[j].Node })
-		if !opt.NoEarlyStop && t >= maxInjFrame && sameState(stateList, prevState) {
+		// The state that entered this frame is last frame's capture, so
+		// comparing next against it is the repeated-state test.
+		if !opt.NoEarlyStop && t >= maxInjFrame && sameState(next, state) {
 			res.StoppedEarly = true
 			e.resetFrame()
 			return res
 		}
-		prevState = stateList
 
-		state = nextState
+		state, next = next, state
 		e.resetFrame()
 		if len(state) == 0 && t >= maxInjFrame {
 			// Nothing can change any more.
@@ -405,7 +439,7 @@ func (e *Engine) Run(inj []Injection, opt Options) Result {
 	return res
 }
 
-func sameState(a, b []Assign) bool {
+func sameState(a, b []seqAssign) bool {
 	if len(a) != len(b) {
 		return false
 	}

@@ -1,0 +1,110 @@
+package sim
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/logic"
+	"repro/internal/netlist"
+)
+
+// TestEngineClone: clones inherit tie constants, produce identical results,
+// and run concurrently without interfering (exercised under -race).
+func TestEngineClone(t *testing.T) {
+	c := randomTestCircuit(77, 40, 8, 4)
+	base := NewEngine(c)
+	tied := c.EvalOrder()[0]
+	base.SetTies(map[netlist.NodeID]logic.V{tied: logic.Zero})
+
+	inj := func(i int) []Injection {
+		pi := c.PIs[i%len(c.PIs)]
+		return []Injection{{Frame: 0, Node: pi, Val: logic.FromBool(i%2 == 0)}}
+	}
+	want := make([]Result, len(c.PIs)*2)
+	for i := range want {
+		want[i] = base.Run(inj(i), Options{MaxFrames: 8})
+	}
+
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		clone := base.Clone()
+		if clone.Circuit() != c {
+			t.Fatal("clone must simulate the same circuit")
+		}
+		wg.Add(1)
+		go func(e *Engine) {
+			defer wg.Done()
+			for i := range want {
+				got := e.Run(inj(i), Options{MaxFrames: 8})
+				if len(got.Frames) != len(want[i].Frames) ||
+					got.Conflict != want[i].Conflict ||
+					got.StoppedEarly != want[i].StoppedEarly {
+					t.Errorf("clone run %d diverged from original", i)
+					return
+				}
+				for fr := range got.Frames {
+					if len(got.Frames[fr]) != len(want[i].Frames[fr]) {
+						t.Errorf("clone run %d frame %d diverged", i, fr)
+						return
+					}
+					for j, a := range got.Frames[fr] {
+						if a != want[i].Frames[fr][j] {
+							t.Errorf("clone run %d frame %d entry %d diverged", i, fr, j)
+							return
+						}
+					}
+				}
+			}
+		}(clone)
+	}
+	wg.Wait()
+}
+
+// TestEngineCopyTies: CopyTies refreshes a clone after SetTies on the
+// source, and rejects engines of a different circuit.
+func TestEngineCopyTies(t *testing.T) {
+	b := netlist.NewBuilder("ct")
+	b.PI("a")
+	b.PI("x")
+	b.Gate("t", logic.OpAnd, netlist.P("x"), netlist.N("x"))
+	b.Gate("g", logic.OpOr, netlist.P("a"), netlist.P("t"))
+	b.PO("o", netlist.P("g"))
+	c := b.MustBuild()
+
+	base := NewEngine(c)
+	clone := base.Clone()
+	base.SetTies(map[netlist.NodeID]logic.V{c.MustLookup("t"): logic.Zero})
+	inj := []Injection{{Frame: 0, Node: c.MustLookup("a"), Val: logic.Zero}}
+	if got := clone.Run(inj, Options{}).Frames[0].Get(c.MustLookup("g")); got != logic.X {
+		t.Fatalf("before CopyTies the clone must not know the tie, g = %v", got)
+	}
+	clone.CopyTies(base)
+	if got := clone.Run(inj, Options{}).Frames[0].Get(c.MustLookup("g")); got != logic.Zero {
+		t.Fatalf("after CopyTies g = %v, want 0", got)
+	}
+
+	other := NewEngine(chain(t))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("CopyTies across circuits must panic")
+		}
+	}()
+	other.CopyTies(base)
+}
+
+// TestEngineRunDoesNotAllocateScratch pins the engine's reuse promise:
+// steady-state runs allocate only the returned frames, not per-run maps.
+func TestEngineRunDoesNotAllocateScratch(t *testing.T) {
+	c := chain(t)
+	e := NewEngine(c)
+	inj := []Injection{{Frame: 0, Node: c.MustLookup("a"), Val: logic.One}}
+	e.Run(inj, Options{}) // warm the scratch buffers
+	allocs := testing.AllocsPerRun(200, func() {
+		e.Run(inj, Options{})
+	})
+	// 3 frames of results (one Frame slice each) plus the Frames slice
+	// header growth; anything near the old map-based count (~10+) fails.
+	if allocs > 6 {
+		t.Fatalf("Engine.Run allocates %.1f objects/run, want <= 6 (results only)", allocs)
+	}
+}

@@ -37,6 +37,7 @@ import (
 	"repro/internal/fault"
 	"repro/internal/fires"
 	"repro/internal/gen"
+	"repro/internal/imply"
 	"repro/internal/learn"
 	"repro/internal/logic"
 	"repro/internal/netlist"
@@ -94,17 +95,26 @@ func N(name string) Ref { return netlist.N(name) }
 
 // Learning (the paper's core contribution).
 type (
-	// LearnOptions configures Learn; the zero value is the paper's setup.
+	// LearnOptions configures Learn; the zero value is the paper's setup
+	// sharded over one simulation worker per core (set Parallelism: 1 for
+	// a serial run — results are bit-identical either way).
 	LearnOptions = learn.Options
 	// LearnResult carries relations, ties, equivalences and statistics.
 	LearnResult = learn.Result
 	// Tie is a learned tied gate.
 	Tie = learn.Tie
+	// ImplicationSnapshot is the frozen, immutable learned-relation
+	// database produced by Learn (LearnResult.DB) and consumed by the
+	// ATPG and the untestability analyses; one snapshot is safe for any
+	// number of concurrent readers without locks.
+	ImplicationSnapshot = imply.Snapshot
 )
 
 // Learn runs sequential learning (single-node + multiple-node phases, tie
 // extraction, gate equivalences, per-clock-class handling) plus classical
-// combinational learning on c.
+// combinational learning on c. The single-node and multiple-node sweeps
+// shard across LearnOptions.Parallelism workers with a deterministic
+// merge, so the result does not depend on the worker count.
 func Learn(c *Circuit, opt LearnOptions) *LearnResult { return learn.Learn(c, opt) }
 
 // Test generation.
