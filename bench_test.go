@@ -19,6 +19,7 @@ import (
 	"repro/internal/harness"
 	"repro/internal/imply"
 	"repro/internal/learn"
+	"repro/internal/logic"
 	"repro/internal/sim"
 )
 
@@ -148,6 +149,88 @@ func BenchmarkParallelLearning(b *testing.B) {
 				lr := learn.Learn(c, learn.Options{Parallelism: p, SkipComb: true})
 				if lr.DB.Len() == 0 {
 					b.Fatal("no relations learned")
+				}
+			}
+		})
+	}
+}
+
+// benchVectors builds deterministic random PI sequences for the fault-sim
+// benchmarks.
+func benchVectors(seed uint64, pis, frames int) [][]logic.V {
+	r := logic.NewRand64(seed)
+	out := make([][]logic.V, frames)
+	for t := range out {
+		vec := make([]logic.V, pis)
+		for i := range vec {
+			vec[i] = logic.FromBool(r.Bool())
+		}
+		out[t] = vec
+	}
+	return out
+}
+
+// BenchmarkParallelFaultSim tracks the sharded fault simulator: serial
+// against one worker per core, simulating the collapsed fault list of
+// s5378 against a fixed random sequence. Results are bit-identical (see
+// fault's determinism test); only the wall clock differs.
+func BenchmarkParallelFaultSim(b *testing.B) {
+	c := gen.MustBuild("s5378")
+	faults, _ := fault.Collapse(c)
+	vectors := benchVectors(0xbe7c, len(c.PIs), 24)
+	counts := []int{1}
+	if n := runtime.GOMAXPROCS(0); n > 1 {
+		counts = append(counts, n)
+	}
+	for _, p := range counts {
+		b.Run(fmt.Sprintf("workers-%d", p), func(b *testing.B) {
+			ps := fault.NewParallelSim(c, p)
+			ps.LoadSequence(vectors, nil)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				dets := ps.Detect(faults)
+				if len(dets) != len(faults) {
+					b.Fatal("detection map truncated")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkParallelATPG tracks the batch test-generation driver: the full
+// fault-dropping run on an s5378 fault sample, serial against one PODEM
+// worker per core. Counts and tests are bit-identical for any worker count
+// (see TestDriverSerialEquivalence); only the wall clock differs.
+func BenchmarkParallelATPG(b *testing.B) {
+	c := gen.MustBuild("s5378")
+	lr := learn.Learn(c, learn.Options{SkipComb: true})
+	var ties []learn.Tie
+	ties = append(ties, lr.CombTies...)
+	ties = append(ties, lr.SeqTies...)
+	faults, _ := fault.Collapse(c)
+	if len(faults) > 300 {
+		faults = faults[:300]
+	}
+	counts := []int{1}
+	if n := runtime.GOMAXPROCS(0); n > 1 {
+		counts = append(counts, n)
+	}
+	for _, p := range counts {
+		b.Run(fmt.Sprintf("workers-%d", p), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res := atpg.Run(c, atpg.RunOptions{
+					Faults:      faults,
+					Parallelism: p,
+					ATPG: atpg.Options{
+						BacktrackLimit: 30,
+						Mode:           atpg.ModeForbidden,
+						DB:             lr.DB,
+						Ties:           ties,
+						FillSeed:       0x7e57,
+					},
+				})
+				if res.VerifyFailures != 0 {
+					b.Fatal("verification failure")
 				}
 			}
 		})

@@ -6,6 +6,7 @@
 //
 //	seqatpg -circuit s1423 -mode forbidden -backtracks 30
 //	seqatpg -bench design.bench -mode known -max-faults 500
+//	seqatpg -circuit s5378 -workers 8   # sharded driver; counts identical to -workers 1
 package main
 
 import (
@@ -29,8 +30,9 @@ func main() {
 		limit     = flag.Int("backtracks", 30, "backtrack limit per window")
 		maxFaults = flag.Int("max-faults", 0, "truncate the fault list (0 = all)")
 		maxWin    = flag.Int("max-window", 8, "largest time-frame window")
-		workers   = flag.Int("j", 0, "learning workers (0 = one per core, 1 = serial; results identical)")
+		workers   = flag.Int("workers", 0, "parallel workers for learning, fault simulation and the PODEM driver (0 = one per core, 1 = serial; results identical)")
 	)
+	flag.IntVar(workers, "j", 0, "alias for -workers")
 	flag.Parse()
 
 	c, err := load(*circuit, *benchFile)
@@ -61,7 +63,8 @@ func main() {
 		windows = append(windows, w)
 	}
 	res := atpg.Run(c, atpg.RunOptions{
-		MaxFaults: *maxFaults,
+		MaxFaults:   *maxFaults,
+		Parallelism: *workers,
 		ATPG: atpg.Options{
 			BacktrackLimit: *limit,
 			Windows:        windows,

@@ -29,8 +29,9 @@ func main() {
 		singleOnly = flag.Bool("single-only", false, "single-node learning only")
 		skipComb   = flag.Bool("skip-comb", false, "skip the combinational learning pass")
 		maxFrames  = flag.Int("max-frames", 0, "simulation frame cap (default 50)")
-		workers    = flag.Int("j", 0, "learning workers (0 = one per core, 1 = serial; results identical)")
+		workers    = flag.Int("workers", 0, "learning workers (0 = one per core, 1 = serial; results identical)")
 	)
+	flag.IntVar(workers, "j", 0, "alias for -workers")
 	flag.Parse()
 
 	c, err := load(*circuit, *benchFile)

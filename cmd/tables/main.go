@@ -29,6 +29,7 @@ func main() {
 		table     = flag.String("table", "all", "which table: 1, 2, 3, 4, 5, fig2 or all")
 		quick     = flag.Bool("quick", false, "bound sizes and fault counts for a fast run")
 		maxFaults = flag.Int("max-faults", 0, "table 5: faults per circuit (0 = all)")
+		workers   = flag.Int("workers", 0, "table 5: ATPG driver workers (0 = one per core, 1 = serial; cells identical)")
 	)
 	flag.Parse()
 
@@ -69,6 +70,7 @@ func main() {
 		_, err := harness.Table5(os.Stdout, harness.Table5Options{
 			MaxFaults: t5Faults,
 			MaxGates:  maxGates5,
+			Workers:   *workers,
 		})
 		return err
 	})

@@ -1,11 +1,13 @@
 package atpg
 
 import (
+	"sync/atomic"
 	"time"
 
 	"repro/internal/fault"
 	"repro/internal/logic"
 	"repro/internal/netlist"
+	"repro/internal/sim"
 )
 
 // RunOptions configures a full test-generation run over a fault list.
@@ -24,6 +26,13 @@ type RunOptions struct {
 	// without searching — the paper's learning-enabled runs classify
 	// tie-gate faults exactly this way.
 	PreUntestable []fault.Fault
+
+	// Parallelism is the number of concurrent PODEM workers and fault-
+	// simulation shards (0 = one per core, 1 = fully serial). All workers
+	// read one frozen imply.Snapshot; results are reconciled in canonical
+	// fault order, so every count, test and backtrack total is
+	// bit-identical to the serial run for any value (see parallel.go).
+	Parallelism int
 }
 
 // RunResult summarizes a test-generation run — one cell group of the
@@ -37,6 +46,11 @@ type RunResult struct {
 	Tests      [][][]logic.V // generated test sequences (PI vectors per frame)
 	Backtracks int
 	Duration   time.Duration
+
+	// TestTargets aligns with Tests: the fault each sequence was
+	// generated for. Every entry was re-confirmed by the independent
+	// fault simulator before the test was emitted.
+	TestTargets []fault.Fault
 
 	// VerifyFailures counts generated tests the independent fault
 	// simulator did not confirm; they are reclassified as aborted and
@@ -67,6 +81,11 @@ func (r RunResult) TestCoverage() float64 {
 // remaining faults and everything it detects is dropped. Every generated
 // test is independently verified by the fault simulator before being
 // counted.
+//
+// With Parallelism > 1 the run becomes a batch driver: PODEM workers pull
+// faults from a shared queue and the fault-dropping simulation shards over
+// a ParallelSim, while a canonical in-order merge keeps the outcome
+// bit-identical to the serial run (see parallel.go).
 func Run(c *netlist.Circuit, opt RunOptions) RunResult {
 	start := time.Now()
 	faults := opt.Faults
@@ -76,63 +95,162 @@ func Run(c *netlist.Circuit, opt RunOptions) RunResult {
 	if opt.MaxFaults > 0 && len(faults) > opt.MaxFaults {
 		faults = faults[:opt.MaxFaults]
 	}
-
-	res := RunResult{Total: len(faults)}
-	dropped := make(map[fault.Fault]bool, len(faults))
-	fsim := fault.NewSim(c)
 	opt.ATPG.rels = buildRelIndex(c, opt.ATPG.DB, opt.ATPG.Mode, opt.ATPG.UseCrossFrame)
+
+	workers := sim.ClampWorkers(opt.Parallelism)
+	st := newRunState(c, opt, faults, workers)
+	if workers > 1 {
+		st.runParallel(workers)
+	} else {
+		st.runSerial()
+	}
+	st.res.Duration = time.Since(start)
+	return st.res
+}
+
+// runState is the accounting shared by the serial loop and the parallel
+// coordinator. All mutation happens in canonical fault order through
+// process(), which is what makes the two drivers bit-identical.
+type runState struct {
+	c      *netlist.Circuit
+	opt    RunOptions
+	faults []fault.Fault
+
+	// slot maps a fault-list position to a canonical per-fault slot;
+	// duplicate faults share a slot, preserving the drop-once semantics
+	// of the original map-keyed implementation.
+	slot    []int
+	dropped []atomic.Bool // per slot; written only in canonical order
+
+	fsim *fault.Sim         // detection backend when serial
+	psim *fault.ParallelSim // detection backend when parallel
+
+	// scratch for the drop pass.
+	rem       []int
+	remFaults []fault.Fault
+
+	res RunResult
+}
+
+func newRunState(c *netlist.Circuit, opt RunOptions, faults []fault.Fault, workers int) *runState {
+	st := &runState{
+		c:      c,
+		opt:    opt,
+		faults: faults,
+		slot:   make([]int, len(faults)),
+		res:    RunResult{Total: len(faults)},
+	}
+	slots := make(map[fault.Fault]int, len(faults))
+	for i, f := range faults {
+		s, ok := slots[f]
+		if !ok {
+			s = len(slots)
+			slots[f] = s
+		}
+		st.slot[i] = s
+	}
+	st.dropped = make([]atomic.Bool, len(slots))
+	if workers > 1 {
+		st.psim = fault.NewParallelSim(c, workers)
+	} else {
+		st.fsim = fault.NewSim(c)
+	}
 
 	if len(opt.PreUntestable) > 0 {
 		pre := make(map[fault.Fault]bool, len(opt.PreUntestable))
 		for _, f := range opt.PreUntestable {
 			pre[f] = true
 		}
-		for _, f := range faults {
-			if pre[f] && !dropped[f] {
-				dropped[f] = true
-				res.Untestable++
+		for i, f := range faults {
+			if pre[f] && !st.dropped[st.slot[i]].Load() {
+				st.dropped[st.slot[i]].Store(true)
+				st.res.Untestable++
 			}
 		}
 	}
+	return st
+}
 
-	for i, f := range faults {
-		if dropped[f] {
-			continue
-		}
-		gopt := opt.ATPG
-		if gopt.FillSeed != 0 {
-			gopt.FillSeed = gopt.FillSeed*31 + uint64(i) + 1
-		}
-		g := Generate(c, f, gopt)
-		res.Backtracks += g.Backtracks
-		switch g.Outcome {
-		case Untestable:
-			res.Untestable++
-			dropped[f] = true
-		case Aborted:
-			res.Aborted++
-			dropped[f] = true // do not retarget
-		case Detected:
-			fsim.LoadSequence(g.Test, nil)
-			if ok, _ := fsim.Detects(f); !ok {
-				res.VerifyFailures++
-				res.Aborted++
-				dropped[f] = true
+// genOptions derives the per-fault generation options; the fill seed is a
+// pure function of the fault's list position, so workers reproduce exactly
+// the tests the serial loop would emit.
+func (st *runState) genOptions(i int) Options {
+	gopt := st.opt.ATPG
+	if gopt.FillSeed != 0 {
+		gopt.FillSeed = gopt.FillSeed*31 + uint64(i) + 1
+	}
+	return gopt
+}
+
+// detect fault-simulates the test against the given faults using whichever
+// backend the run owns. Detection of one fault is independent of every
+// other, so both backends return identical slices.
+func (st *runState) detect(test [][]logic.V, faults []fault.Fault) []fault.Detection {
+	if st.psim != nil {
+		st.psim.LoadSequence(test, nil)
+		return st.psim.Detect(faults)
+	}
+	st.fsim.LoadSequence(test, nil)
+	return st.fsim.DetectAll(faults)
+}
+
+// process folds the Generate result for fault-list position i into the
+// run. It must be called in increasing position order with i undropped —
+// the single accounting path for both drivers.
+func (st *runState) process(i int, g Result) {
+	st.res.Backtracks += g.Backtracks
+	switch g.Outcome {
+	case Untestable:
+		st.res.Untestable++
+		st.dropped[st.slot[i]].Store(true)
+	case Aborted:
+		st.res.Aborted++
+		st.dropped[st.slot[i]].Store(true) // do not retarget
+	case Detected:
+		// Collect the remaining (undropped) positions; i is among them.
+		st.rem = st.rem[:0]
+		st.remFaults = st.remFaults[:0]
+		self := -1
+		for p := range st.faults {
+			if st.dropped[st.slot[p]].Load() {
 				continue
 			}
-			res.Tests = append(res.Tests, g.Test)
-			// Drop everything this sequence detects.
-			for _, other := range faults {
-				if dropped[other] {
-					continue
-				}
-				if ok, _ := fsim.Detects(other); ok {
-					dropped[other] = true
-					res.Detected++
-				}
+			if p == i {
+				self = len(st.rem)
 			}
+			st.rem = append(st.rem, p)
+			st.remFaults = append(st.remFaults, st.faults[p])
+		}
+		dets := st.detect(g.Test, st.remFaults)
+		// Independent verification of the generated test against its own
+		// target fault.
+		if !dets[self].Detected {
+			st.res.VerifyFailures++
+			st.res.Aborted++
+			st.dropped[st.slot[i]].Store(true)
+			return
+		}
+		st.res.Tests = append(st.res.Tests, g.Test)
+		st.res.TestTargets = append(st.res.TestTargets, st.faults[i])
+		// Drop everything this sequence detects; duplicate positions
+		// sharing a slot are counted once.
+		for k, p := range st.rem {
+			if !dets[k].Detected || st.dropped[st.slot[p]].Load() {
+				continue
+			}
+			st.dropped[st.slot[p]].Store(true)
+			st.res.Detected++
 		}
 	}
-	res.Duration = time.Since(start)
-	return res
+}
+
+// runSerial is the classic driver loop: one PODEM search at a time, in
+// fault order.
+func (st *runState) runSerial() {
+	for i := range st.faults {
+		if st.dropped[st.slot[i]].Load() {
+			continue
+		}
+		st.process(i, Generate(st.c, st.faults[i], st.genOptions(i)))
+	}
 }

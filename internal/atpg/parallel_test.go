@@ -1,0 +1,179 @@
+package atpg
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+	"testing"
+
+	"repro/internal/fault"
+	"repro/internal/gen"
+	"repro/internal/learn"
+	"repro/internal/netlist"
+)
+
+// dumpRun renders every deterministic field of a RunResult — counts,
+// backtracks and each emitted test with its target — so driver runs can be
+// compared byte for byte. Duration is the only field excluded.
+func dumpRun(res RunResult) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "total=%d detected=%d untestable=%d aborted=%d backtracks=%d verifyfail=%d\n",
+		res.Total, res.Detected, res.Untestable, res.Aborted, res.Backtracks, res.VerifyFailures)
+	for k, test := range res.Tests {
+		fmt.Fprintf(&sb, "test %d target=%s frames=%d:", k, res.TestTargets[k], len(test))
+		for _, vec := range test {
+			sb.WriteByte(' ')
+			for _, v := range vec {
+				fmt.Fprintf(&sb, "%s", v)
+			}
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// driverRun executes the full driver on a suite circuit with learned data,
+// at the given worker count.
+func driverRun(c *netlist.Circuit, lr *learn.Result, faults []fault.Fault, mode Mode, workers int) RunResult {
+	var ties []learn.Tie
+	ties = append(ties, lr.CombTies...)
+	ties = append(ties, lr.SeqTies...)
+	return Run(c, RunOptions{
+		Faults:      faults,
+		Parallelism: workers,
+		ATPG: Options{
+			BacktrackLimit: 30,
+			Windows:        []int{1, 2, 4},
+			Mode:           mode,
+			DB:             lr.DB,
+			Ties:           ties,
+			FillSeed:       0x7e57,
+		},
+	})
+}
+
+// TestDriverSerialEquivalence is the core contract of the batch driver:
+// for any worker count the full atpg.Run — counts, backtracks, every
+// emitted test and its target — is byte-identical to the serial run, and
+// every test passes independent verification.
+func TestDriverSerialEquivalence(t *testing.T) {
+	for _, name := range []string{"s953", "s510jcsrre"} {
+		c := gen.MustBuild(name)
+		lr := learn.Learn(c, learn.Options{})
+		faults, _ := fault.Collapse(c)
+		if len(faults) > 150 {
+			faults = faults[:150]
+		}
+		base := driverRun(c, lr, faults, ModeForbidden, 1)
+		if base.VerifyFailures != 0 {
+			t.Fatalf("%s: serial run has %d verify failures", name, base.VerifyFailures)
+		}
+		if base.Detected+base.Untestable+base.Aborted != base.Total {
+			t.Fatalf("%s: serial counts inconsistent: %+v", name, base)
+		}
+		baseDump := dumpRun(base)
+		for _, w := range []int{2, 4, runtime.GOMAXPROCS(0) + 1} {
+			got := driverRun(c, lr, faults, ModeForbidden, w)
+			if got.VerifyFailures != 0 {
+				t.Fatalf("%s workers=%d: %d verify failures", name, w, got.VerifyFailures)
+			}
+			if gotDump := dumpRun(got); gotDump != baseDump {
+				t.Fatalf("%s: workers=%d run differs from serial:\nserial: %q\nparallel: %q",
+					name, w, firstDiff(baseDump, gotDump), firstDiff(gotDump, baseDump))
+			}
+		}
+	}
+}
+
+// firstDiff returns the first line where a differs from b, for readable
+// failure messages.
+func firstDiff(a, b string) string {
+	al, bl := strings.Split(a, "\n"), strings.Split(b, "\n")
+	for i := range al {
+		if i >= len(bl) || al[i] != bl[i] {
+			return al[i]
+		}
+	}
+	return "(prefix of other)"
+}
+
+// TestDriverSerialEquivalenceModes sweeps the three learning-use modes and
+// the pre-untestable path through the parallel driver on one circuit, so
+// every accounting branch keeps the equivalence contract.
+func TestDriverSerialEquivalenceModes(t *testing.T) {
+	c := gen.MustBuild("s953")
+	lr := learn.Learn(c, learn.Options{})
+	faults, _ := fault.Collapse(c)
+	if len(faults) > 120 {
+		faults = faults[:120]
+	}
+	for _, mode := range []Mode{ModeNoLearning, ModeForbidden, ModeKnown} {
+		base := dumpRun(driverRun(c, lr, faults, mode, 1))
+		got := dumpRun(driverRun(c, lr, faults, mode, 4))
+		if got != base {
+			t.Fatalf("mode %v: parallel run differs from serial", mode)
+		}
+	}
+	// Pre-untestable faults must be accounted before any worker starts.
+	pre := []fault.Fault{faults[0], faults[3], faults[7]}
+	mk := func(workers int) RunResult {
+		return Run(c, RunOptions{
+			Faults:        faults,
+			PreUntestable: pre,
+			Parallelism:   workers,
+			ATPG:          Options{BacktrackLimit: 30, Windows: []int{1, 2}, Mode: ModeForbidden, DB: lr.DB},
+		})
+	}
+	base, got := mk(1), mk(3)
+	if dumpRun(base) != dumpRun(got) {
+		t.Fatal("pre-untestable: parallel run differs from serial")
+	}
+	if base.Untestable < len(pre) {
+		t.Fatalf("pre-untestable not counted: %+v", base)
+	}
+}
+
+// TestParallelDriverCrossCheck closes the loop the paper's Table 5 relies
+// on: every test sequence emitted by the parallel driver is re-verified by
+// a fresh serial fault.Sim — it must detect its recorded target, and the
+// union of everything the tests detect must account for every fault the
+// driver counted as detected.
+func TestParallelDriverCrossCheck(t *testing.T) {
+	c := gen.MustBuild("s953")
+	lr := learn.Learn(c, learn.Options{})
+	faults, _ := fault.Collapse(c)
+	if len(faults) > 150 {
+		faults = faults[:150]
+	}
+	res := driverRun(c, lr, faults, ModeKnown, 4)
+	if res.VerifyFailures != 0 {
+		t.Fatalf("%d verify failures", res.VerifyFailures)
+	}
+	if len(res.Tests) != len(res.TestTargets) {
+		t.Fatalf("tests/targets misaligned: %d vs %d", len(res.Tests), len(res.TestTargets))
+	}
+	if len(res.Tests) == 0 || res.Detected == 0 {
+		t.Fatal("setup: driver emitted no tests")
+	}
+	detectedUnion := map[fault.Fault]bool{}
+	for k, test := range res.Tests {
+		s := fault.NewSim(c) // fresh, fully serial simulator per test
+		s.LoadSequence(test, nil)
+		if ok, _ := s.Detects(res.TestTargets[k]); !ok {
+			t.Fatalf("test %d does not detect its target %s under a fresh serial sim",
+				k, fault.Name(c, res.TestTargets[k]))
+		}
+		for i, d := range s.DetectAll(faults) {
+			if d.Detected {
+				detectedUnion[faults[i]] = true
+			}
+		}
+	}
+	// Every detection-counted fault was dropped by some emitted test, so
+	// the union must cover at least that many faults (it may cover more:
+	// faults dropped earlier as aborted can be detectable too).
+	if len(detectedUnion) < res.Detected {
+		t.Fatalf("emitted tests detect only %d faults, driver counted %d",
+			len(detectedUnion), res.Detected)
+	}
+}

@@ -17,10 +17,13 @@ import (
 type Sim struct {
 	c *netlist.Circuit
 
-	// Good-machine caches, filled by LoadSequence.
+	// Good-machine caches, filled by LoadSequence or adopted read-only
+	// from another Sim (ParallelSim workers share one loaded sequence).
 	vectors   [][]logic.V // PI values per frame
 	goodVals  [][]logic.V // node values per frame
 	goodState [][]logic.V // state per frame boundary (index 0 = initial)
+
+	good *sim.FuncSim // good-machine simulator, reused across loads
 
 	// Faulty overlay with epoch stamps (no clearing between faults).
 	faulty []logic.V
@@ -32,7 +35,14 @@ type Sim struct {
 	inQueue  []uint32 // stamp when last enqueued
 	maxLevel int
 
-	poOf map[netlist.NodeID][]int // node -> PO indices observing it
+	// poOf maps a node to the PO indices observing it: a dense slice
+	// indexed by NodeID (no maps on the propagation path), immutable
+	// after construction and shared across clones. poStamp/touchedPOs
+	// track which POs carry an overlay value in the current frame so the
+	// detection check visits only those.
+	poOf       [][]int
+	poStamp    []uint32
+	touchedPOs []int
 }
 
 // NewSim returns a fault simulator for c.
@@ -43,19 +53,44 @@ func NewSim(c *netlist.Circuit) *Sim {
 			maxLevel = l
 		}
 	}
-	s := &Sim{
+	poOf := make([][]int, c.NumNodes())
+	for i, po := range c.POs {
+		poOf[po.Pin.Node] = append(poOf[po.Pin.Node], i)
+	}
+	return newSimWith(c, sim.NewFuncSim(c), maxLevel, poOf)
+}
+
+// newSimWith builds a simulator around the shared immutable structure.
+func newSimWith(c *netlist.Circuit, good *sim.FuncSim, maxLevel int, poOf [][]int) *Sim {
+	return &Sim{
 		c:        c,
+		good:     good,
 		faulty:   make([]logic.V, c.NumNodes()),
 		stamp:    make([]uint32, c.NumNodes()),
 		inQueue:  make([]uint32, c.NumNodes()),
 		buckets:  make([][]netlist.NodeID, maxLevel+1),
 		maxLevel: maxLevel,
-		poOf:     map[netlist.NodeID][]int{},
+		poOf:     poOf,
+		poStamp:  make([]uint32, len(c.POs)),
 	}
-	for i, po := range c.POs {
-		s.poOf[po.Pin.Node] = append(s.poOf[po.Pin.Node], i)
-	}
-	return s
+}
+
+// Clone returns an independent simulator for the same circuit: the
+// immutable structure (circuit, PO index) is shared, while the good-machine
+// simulator, caches and the faulty overlay are private to the clone. The
+// clone starts with no loaded sequence; load one with LoadSequence, or let
+// a ParallelSim distribute a shared sequence across its worker clones.
+func (s *Sim) Clone() *Sim {
+	return newSimWith(s.c, s.good.Clone(), s.maxLevel, s.poOf)
+}
+
+// adoptSequence points s's good-machine caches at the sequence loaded into
+// src. The cached frames are shared read-only; the outer slices are
+// copied, so a later LoadSequence on src cannot tear what s observes.
+func (s *Sim) adoptSequence(src *Sim) {
+	s.vectors = append(s.vectors[:0], src.vectors...)
+	s.goodVals = append(s.goodVals[:0], src.goodVals...)
+	s.goodState = append(s.goodState[:0], src.goodState...)
 }
 
 // LoadSequence simulates the good machine over the vectors (PI values per
@@ -64,7 +99,7 @@ func (s *Sim) LoadSequence(vectors [][]logic.V, init []logic.V) {
 	s.vectors = vectors
 	s.goodVals = s.goodVals[:0]
 	s.goodState = s.goodState[:0]
-	f := sim.NewFuncSim(s.c)
+	f := s.good
 	f.Reset(init)
 	st0 := append([]logic.V(nil), f.State()...)
 	s.goodState = append(s.goodState, st0)
@@ -106,6 +141,14 @@ func (s *Sim) setFaulty(t int, n netlist.NodeID, v logic.V) {
 	if s.stamp[n] == s.cur && s.faulty[n] == v {
 		return
 	}
+	if s.stamp[n] != s.cur {
+		for _, pi := range s.poOf[n] {
+			if s.poStamp[pi] != s.cur {
+				s.poStamp[pi] = s.cur
+				s.touchedPOs = append(s.touchedPOs, pi)
+			}
+		}
+	}
 	s.stamp[n] = s.cur
 	s.faulty[n] = v
 	for _, out := range s.c.Fanouts(n) {
@@ -125,6 +168,7 @@ func (s *Sim) Detects(f Fault) (bool, int) {
 
 	for t := range s.vectors {
 		s.cur++
+		s.touchedPOs = s.touchedPOs[:0]
 		for b := range s.buckets {
 			s.buckets[b] = s.buckets[b][:0]
 		}
@@ -158,13 +202,12 @@ func (s *Sim) Detects(f Fault) (bool, int) {
 			}
 		}
 
-		// Detection at primary outputs.
-		for _, po := range s.c.POs {
-			if s.stamp[po.Pin.Node] != s.cur {
-				continue
-			}
-			g := s.goodVals[t][po.Pin.Node]
-			fv := s.faulty[po.Pin.Node]
+		// Detection at the primary outputs whose nodes carry an overlay
+		// value this frame (pin inversions cancel in the comparison).
+		for _, pi := range s.touchedPOs {
+			n := s.c.POs[pi].Pin.Node
+			g := s.goodVals[t][n]
+			fv := s.faulty[n]
 			if g.Known() && fv.Known() && g != fv {
 				return true, t
 			}
@@ -252,6 +295,33 @@ func (s *Sim) captureFaulty(t int, id netlist.NodeID) logic.V {
 		}
 	}
 	return q
+}
+
+// Detection is the outcome of simulating one fault against a loaded
+// sequence.
+type Detection struct {
+	Detected bool
+	Frame    int // first detecting frame; -1 when undetected
+}
+
+// DetectAll simulates every fault against the loaded sequence and returns
+// the per-fault outcomes in input order.
+func (s *Sim) DetectAll(faults []Fault) []Detection {
+	out := make([]Detection, len(faults))
+	s.detectInto(out, faults, 0, len(faults))
+	return out
+}
+
+// detectInto fills out[lo:hi] with the outcomes for faults[lo:hi] — the
+// shard primitive underneath DetectAll and ParallelSim.
+func (s *Sim) detectInto(out []Detection, faults []Fault, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		ok, fr := s.Detects(faults[i])
+		if !ok {
+			fr = -1
+		}
+		out[i] = Detection{Detected: ok, Frame: fr}
+	}
 }
 
 // RunAll simulates every fault in faults against the loaded sequence and

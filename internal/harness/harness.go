@@ -192,6 +192,11 @@ type Table5Options struct {
 	MaxFaults int      // per circuit (0 = all)
 	MaxGates  int      // skip circuits above this size (0 = no limit)
 	Windows   []int    // ATPG windows (default {1,2,4,8})
+
+	// Workers shards each atpg.Run over this many PODEM workers and
+	// fault-simulation shards (0 = one per core, 1 = serial). Every cell
+	// is bit-identical for any value; only the CPU column changes.
+	Workers int
 }
 
 // Table5 runs the ATPG experiment grid and prints the paper's Table 5
@@ -245,6 +250,7 @@ func Table5(w io.Writer, opt Table5Options) ([]Table5Cell, error) {
 				res := atpg.Run(c, atpg.RunOptions{
 					Faults:        faults,
 					PreUntestable: pre,
+					Parallelism:   opt.Workers,
 					ATPG: atpg.Options{
 						BacktrackLimit: limit,
 						Windows:        opt.Windows,

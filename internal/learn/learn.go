@@ -31,7 +31,6 @@
 package learn
 
 import (
-	"runtime"
 	"sort"
 	"time"
 
@@ -104,19 +103,7 @@ func (o *Options) defaults() {
 	if o.MaxPairsPerStem <= 0 {
 		o.MaxPairsPerStem = 1 << 20
 	}
-	if o.Parallelism <= 0 {
-		o.Parallelism = runtime.GOMAXPROCS(0)
-	}
-	// Cap the pool: beyond a few workers per core there is no speedup,
-	// only engine memory (each worker owns NumNodes-sized scratch). The
-	// floor keeps small machines able to exercise real concurrency.
-	limit := 4 * runtime.GOMAXPROCS(0)
-	if limit < 8 {
-		limit = 8
-	}
-	if o.Parallelism > limit {
-		o.Parallelism = limit
-	}
+	o.Parallelism = sim.ClampWorkers(o.Parallelism)
 }
 
 // Tie is a learned tied gate.

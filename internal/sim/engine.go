@@ -18,6 +18,7 @@ package sim
 import (
 	"cmp"
 	"fmt"
+	"runtime"
 	"slices"
 	"sort"
 
@@ -151,6 +152,25 @@ func NewEngine(c *netlist.Circuit) *Engine {
 		inQueue: make([]bool, c.NumNodes()),
 		tieVal:  make([]logic.V, c.NumNodes()),
 	}
+}
+
+// ClampWorkers resolves a requested worker-pool size, shared by every
+// sharded pipeline (learning, fault simulation, the ATPG driver): 0 or
+// less selects one worker per core, and oversized requests are clamped —
+// beyond a few workers per core there is no speedup, only scratch memory.
+// The floor keeps small machines able to exercise real concurrency.
+func ClampWorkers(n int) int {
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	limit := 4 * runtime.GOMAXPROCS(0)
+	if limit < 8 {
+		limit = 8
+	}
+	if n > limit {
+		n = limit
+	}
+	return n
 }
 
 // Clone returns an independent engine for the same circuit with its own

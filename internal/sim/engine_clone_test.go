@@ -92,6 +92,45 @@ func TestEngineCopyTies(t *testing.T) {
 	other.CopyTies(base)
 }
 
+// TestFuncSimClone: a clone forked mid-sequence carries the state and
+// injected fault forward exactly like the original, and the two diverge
+// independently afterwards.
+func TestFuncSimClone(t *testing.T) {
+	c := randomTestCircuit(31, 30, 6, 3)
+	f := c.Seqs[0]
+	a := NewFuncSim(c)
+	a.SetFault(f, logic.One)
+	step := func(s *FuncSim, bit logic.V) {
+		vec := make([]logic.V, len(c.PIs))
+		for i := range vec {
+			vec[i] = bit
+		}
+		s.Step(vec)
+	}
+	a.Reset(nil)
+	step(a, logic.One)
+	b := a.Clone()
+
+	// Same continuation: identical outputs.
+	step(a, logic.Zero)
+	step(b, logic.Zero)
+	for i := range c.POs {
+		if a.Output(i) != b.Output(i) {
+			t.Fatalf("PO %d: clone %v, original %v", i, b.Output(i), a.Output(i))
+		}
+	}
+	// Divergent continuation: the original's state is untouched by the
+	// clone's steps.
+	ref := append([]logic.V(nil), a.State()...)
+	step(b, logic.One)
+	step(b, logic.Zero)
+	for i, v := range a.State() {
+		if v != ref[i] {
+			t.Fatalf("state %d mutated by clone activity", i)
+		}
+	}
+}
+
 // TestEngineRunDoesNotAllocateScratch pins the engine's reuse promise:
 // steady-state runs allocate only the returned frames, not per-run maps.
 func TestEngineRunDoesNotAllocateScratch(t *testing.T) {

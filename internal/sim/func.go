@@ -32,6 +32,18 @@ func NewFuncSim(c *netlist.Circuit) *FuncSim {
 	}
 }
 
+// Clone returns an independent functional simulator over the same circuit
+// with the current values, state and injected fault copied — the
+// counterpart of Engine.Clone for worker pools that fork mid-sequence
+// (the fault simulator's worker clones each own one).
+func (s *FuncSim) Clone() *FuncSim {
+	n := NewFuncSim(s.c)
+	copy(n.values, s.values)
+	copy(n.state, s.state)
+	n.faultNode, n.faultVal = s.faultNode, s.faultVal
+	return n
+}
+
 // Reset sets the sequential state; init may be nil (all X) or indexed like
 // Circuit.Seqs.
 func (s *FuncSim) Reset(init []logic.V) {

@@ -121,12 +121,21 @@ func Learn(c *Circuit, opt LearnOptions) *LearnResult { return learn.Learn(c, op
 type (
 	// ATPGOptions configures per-fault test generation.
 	ATPGOptions = atpg.Options
-	// RunOptions configures a full fault-list run.
+	// RunOptions configures a full fault-list run; RunOptions.Parallelism
+	// shards the PODEM search and the fault-dropping simulation over
+	// concurrent workers with results bit-identical to a serial run.
 	RunOptions = atpg.RunOptions
-	// RunResult summarizes detected/untestable/aborted counts.
+	// RunResult summarizes detected/untestable/aborted counts and carries
+	// the emitted tests with their target faults.
 	RunResult = atpg.RunResult
 	// Fault is a stuck-at fault on a node output.
 	Fault = fault.Fault
+	// FaultDetection is the per-fault outcome of a fault-simulation pass.
+	FaultDetection = fault.Detection
+	// ParallelFaultSim shards fault simulation over worker clones of the
+	// event-driven sequential fault simulator; detection maps are
+	// bit-identical to a serial simulation for any worker count.
+	ParallelFaultSim = fault.ParallelSim
 )
 
 // Learning-use modes for the ATPG (paper Section 4 / Table 5).
@@ -137,8 +146,27 @@ const (
 )
 
 // GenerateTests runs the ATPG over a fault list with fault dropping; every
-// emitted test is verified by the independent fault simulator.
+// emitted test is verified by the independent fault simulator. With
+// RunOptions.Parallelism != 1 the run shards over concurrent PODEM workers
+// and fault-simulation clones, all reading one frozen implication
+// snapshot; the counts, tests and backtrack totals stay bit-identical to
+// the serial run.
 func GenerateTests(c *Circuit, opt RunOptions) RunResult { return atpg.Run(c, opt) }
+
+// SimulateFaults fault-simulates the collapsed-or-given fault list against
+// one test sequence, sharded over workers (0 = one per core), and returns
+// per-fault outcomes in input order.
+func SimulateFaults(c *Circuit, faults []Fault, test [][]V, workers int) []FaultDetection {
+	ps := fault.NewParallelSim(c, workers)
+	ps.LoadSequence(test, nil)
+	return ps.Detect(faults)
+}
+
+// NewParallelFaultSim returns a sharded fault simulator for repeated
+// sequences (workers <= 0 selects one per core).
+func NewParallelFaultSim(c *Circuit, workers int) *ParallelFaultSim {
+	return fault.NewParallelSim(c, workers)
+}
 
 // GenerateTest targets a single fault.
 func GenerateTest(c *Circuit, f Fault, opt ATPGOptions) atpg.Result {
