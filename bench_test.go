@@ -7,8 +7,10 @@ package repro_test
 import (
 	"fmt"
 	"io"
+	"os"
 	"runtime"
 	"testing"
+	"time"
 
 	"repro/internal/atpg"
 	"repro/internal/circuits"
@@ -194,6 +196,80 @@ func BenchmarkParallelFaultSim(b *testing.B) {
 				}
 			}
 		})
+	}
+}
+
+// BenchmarkPackedFaultSim is the perf contract of the word-level
+// bit-parallel fault simulator (PR 3): the scalar event-driven Sim against
+// the packed 64-machines-per-word PackedSim, and the packed simulator
+// sharded over one worker per core, all simulating the collapsed fault
+// list of s5378 against the same fixed random sequence. Detection maps are
+// bit-identical across all three (TestPackedFaultSimEquivalence); only the
+// wall clock differs. cmd/benchjson records this comparison in
+// BENCH_faultsim.json.
+func BenchmarkPackedFaultSim(b *testing.B) {
+	c := gen.MustBuild("s5378")
+	faults, _ := fault.Collapse(c)
+	vectors := benchVectors(0xbe7c, len(c.PIs), 24)
+	b.Run("scalar", func(b *testing.B) {
+		s := fault.NewSim(c)
+		s.LoadSequence(vectors, nil)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if dets := s.DetectAll(faults); len(dets) != len(faults) {
+				b.Fatal("detection map truncated")
+			}
+		}
+	})
+	b.Run("packed", func(b *testing.B) {
+		p := fault.NewPackedSim(c)
+		p.LoadSequence(vectors, nil)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if dets := p.DetectAll(faults); len(dets) != len(faults) {
+				b.Fatal("detection map truncated")
+			}
+		}
+	})
+	if n := runtime.GOMAXPROCS(0); n > 1 {
+		b.Run(fmt.Sprintf("packed-workers-%d", n), func(b *testing.B) {
+			ps := fault.NewParallelSim(c, n)
+			ps.LoadSequence(vectors, nil)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if dets := ps.Detect(faults); len(dets) != len(faults) {
+					b.Fatal("detection map truncated")
+				}
+			}
+		})
+	}
+}
+
+// TestPackedFaultSimSpeedSmoke is the CI guard for the packed speedup: with
+// BENCH_SMOKE=1 it fails unless single-thread packed fault simulation on
+// s5378 beats the scalar simulator. The margin asserted here (2x) is far
+// below the recorded ~100x so scheduling noise cannot flake the job; the
+// real trajectory lives in BENCH_faultsim.json.
+func TestPackedFaultSimSpeedSmoke(t *testing.T) {
+	if os.Getenv("BENCH_SMOKE") == "" {
+		t.Skip("set BENCH_SMOKE=1 to run the packed-vs-scalar speed gate")
+	}
+	c := gen.MustBuild("s5378")
+	faults, _ := fault.Collapse(c)
+	vectors := benchVectors(0xbe7c, len(c.PIs), 24)
+	s := fault.NewSim(c)
+	s.LoadSequence(vectors, nil)
+	t0 := time.Now()
+	s.DetectAll(faults)
+	scalar := time.Since(t0)
+	p := fault.NewPackedSim(c)
+	p.LoadSequence(vectors, nil)
+	t0 = time.Now()
+	p.DetectAll(faults)
+	packed := time.Since(t0)
+	t.Logf("scalar=%v packed=%v speedup=%.1fx", scalar, packed, float64(scalar)/float64(packed))
+	if packed*2 > scalar {
+		t.Fatalf("packed fault sim not at least 2x faster than scalar: scalar=%v packed=%v", scalar, packed)
 	}
 }
 

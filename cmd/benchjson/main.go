@@ -1,0 +1,146 @@
+// Command benchjson runs the packed-vs-scalar fault-simulation benchmark
+// programmatically and records the result as JSON, so the repository's
+// BENCH_*.json perf trajectory is captured by a reproducible command
+// instead of hand-copied `go test -bench` output.
+//
+// Usage:
+//
+//	benchjson                          # s5378, 24 frames -> BENCH_faultsim.json
+//	benchjson -circuit s1423 -out -    # smaller circuit, JSON to stdout
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+
+	"repro/internal/fault"
+	"repro/internal/gen"
+	"repro/internal/logic"
+)
+
+// result is one benchmarked configuration.
+type result struct {
+	Name            string  `json:"name"`
+	NsPerOp         int64   `json:"ns_per_op"`
+	Iterations      int     `json:"iterations"`
+	SpeedupVsScalar float64 `json:"speedup_vs_scalar,omitempty"`
+}
+
+// report is the BENCH_faultsim.json schema.
+type report struct {
+	Benchmark string   `json:"benchmark"`
+	Circuit   string   `json:"circuit"`
+	Faults    int      `json:"faults"`
+	Frames    int      `json:"frames"`
+	GoVersion string   `json:"go_version"`
+	GOOS      string   `json:"goos"`
+	GOARCH    string   `json:"goarch"`
+	CPUs      int      `json:"cpus"`
+	Results   []result `json:"results"`
+}
+
+func main() {
+	var (
+		circuit = flag.String("circuit", "s5378", "suite circuit to benchmark")
+		frames  = flag.Int("frames", 24, "sequence length")
+		out     = flag.String("out", "BENCH_faultsim.json", "output path (- = stdout)")
+	)
+	flag.Parse()
+
+	if _, ok := gen.Lookup(*circuit); !ok {
+		fmt.Fprintf(os.Stderr, "benchjson: unknown suite circuit %q\n", *circuit)
+		os.Exit(1)
+	}
+	c := gen.MustBuild(*circuit)
+	faults, _ := fault.Collapse(c)
+	r := logic.NewRand64(0xbe7c)
+	vectors := make([][]logic.V, *frames)
+	for t := range vectors {
+		vec := make([]logic.V, len(c.PIs))
+		for i := range vec {
+			vec[i] = logic.FromBool(r.Bool())
+		}
+		vectors[t] = vec
+	}
+
+	rep := report{
+		Benchmark: "faultsim",
+		Circuit:   *circuit,
+		Faults:    len(faults),
+		Frames:    *frames,
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		CPUs:      runtime.GOMAXPROCS(0),
+	}
+
+	measure := func(name string, detect func() int) result {
+		br := testing.Benchmark(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if detect() != len(faults) {
+					b.Fatal("detection map truncated")
+				}
+			}
+		})
+		return result{Name: name, NsPerOp: br.NsPerOp(), Iterations: br.N}
+	}
+
+	scalar := fault.NewSim(c)
+	scalar.LoadSequence(vectors, nil)
+	rep.Results = append(rep.Results, measure("scalar", func() int {
+		return len(scalar.DetectAll(faults))
+	}))
+
+	packed := fault.NewPackedSim(c)
+	packed.LoadSequence(vectors, nil)
+	rep.Results = append(rep.Results, measure("packed", func() int {
+		return len(packed.DetectAll(faults))
+	}))
+
+	if n := runtime.GOMAXPROCS(0); n > 1 {
+		ps := fault.NewParallelSim(c, n)
+		ps.LoadSequence(vectors, nil)
+		rep.Results = append(rep.Results, measure(fmt.Sprintf("packed-workers-%d", n), func() int {
+			return len(ps.Detect(faults))
+		}))
+	}
+
+	base := rep.Results[0].NsPerOp
+	for i := range rep.Results[1:] {
+		rep.Results[i+1].SpeedupVsScalar = float64(base) / float64(rep.Results[i+1].NsPerOp)
+	}
+
+	enc, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	enc = append(enc, '\n')
+	if *out == "-" {
+		os.Stdout.Write(enc)
+		return
+	}
+	if err := os.WriteFile(*out, enc, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s (%s: scalar %s/op, packed %s/op, %.1fx)\n",
+		*out, *circuit,
+		fmtNs(rep.Results[0].NsPerOp), fmtNs(rep.Results[1].NsPerOp),
+		rep.Results[1].SpeedupVsScalar)
+}
+
+func fmtNs(ns int64) string {
+	switch {
+	case ns >= 1e9:
+		return fmt.Sprintf("%.2fs", float64(ns)/1e9)
+	case ns >= 1e6:
+		return fmt.Sprintf("%.1fms", float64(ns)/1e6)
+	default:
+		return fmt.Sprintf("%.1fµs", float64(ns)/1e3)
+	}
+}

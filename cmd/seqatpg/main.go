@@ -7,6 +7,7 @@
 //	seqatpg -circuit s1423 -mode forbidden -backtracks 30
 //	seqatpg -bench design.bench -mode known -max-faults 500
 //	seqatpg -circuit s5378 -workers 8   # sharded driver; counts identical to -workers 1
+//	seqatpg -circuit s1423 -compact     # reverse-order fault-sim test compaction
 package main
 
 import (
@@ -31,6 +32,7 @@ func main() {
 		maxFaults = flag.Int("max-faults", 0, "truncate the fault list (0 = all)")
 		maxWin    = flag.Int("max-window", 8, "largest time-frame window")
 		workers   = flag.Int("workers", 0, "parallel workers for learning, fault simulation and the PODEM driver (0 = one per core, 1 = serial; results identical)")
+		compact   = flag.Bool("compact", false, "drop redundant tests by reverse-order fault simulation after generation")
 	)
 	flag.IntVar(workers, "j", 0, "alias for -workers")
 	flag.Parse()
@@ -63,8 +65,9 @@ func main() {
 		windows = append(windows, w)
 	}
 	res := atpg.Run(c, atpg.RunOptions{
-		MaxFaults:   *maxFaults,
-		Parallelism: *workers,
+		MaxFaults:    *maxFaults,
+		Parallelism:  *workers,
+		CompactTests: *compact,
 		ATPG: atpg.Options{
 			BacktrackLimit: *limit,
 			Windows:        windows,
@@ -80,6 +83,9 @@ func main() {
 		res.Total, res.Detected, res.Untestable, res.Aborted)
 	fmt.Printf("coverage=%.2f%% test-coverage=%.2f%% tests=%d backtracks=%d cpu=%v\n",
 		100*res.Coverage(), 100*res.TestCoverage(), len(res.Tests), res.Backtracks, res.Duration)
+	if *compact {
+		fmt.Printf("compaction dropped %d redundant tests\n", res.TestsCompacted)
+	}
 	if res.VerifyFailures > 0 {
 		fmt.Fprintf(os.Stderr, "seqatpg: %d tests failed independent verification\n", res.VerifyFailures)
 		os.Exit(1)

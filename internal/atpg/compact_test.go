@@ -1,0 +1,137 @@
+package atpg
+
+import (
+	"testing"
+
+	"repro/internal/fault"
+	"repro/internal/gen"
+	"repro/internal/learn"
+	"repro/internal/logic"
+)
+
+// compactRun executes the driver with reverse-order test compaction on.
+func compactRun(t *testing.T, name string, workers int) (RunResult, []fault.Fault) {
+	t.Helper()
+	c := gen.MustBuild(name)
+	lr := learn.Learn(c, learn.Options{})
+	faults, _ := fault.Collapse(c)
+	if len(faults) > 150 {
+		faults = faults[:150]
+	}
+	var ties []learn.Tie
+	ties = append(ties, lr.CombTies...)
+	ties = append(ties, lr.SeqTies...)
+	res := Run(c, RunOptions{
+		Faults:       faults,
+		Parallelism:  workers,
+		CompactTests: true,
+		ATPG: Options{
+			BacktrackLimit: 30,
+			Windows:        []int{1, 2, 4},
+			Mode:           ModeForbidden,
+			DB:             lr.DB,
+			Ties:           ties,
+			FillSeed:       0x7e57,
+		},
+	})
+	return res, faults
+}
+
+// TestCompactTestsPreservesCoverage: the reverse-order compaction pass may
+// only remove tests, counts stay untouched, and the kept tests still detect
+// every fault the run counted as detected.
+func TestCompactTestsPreservesCoverage(t *testing.T) {
+	res, faults := compactRun(t, "s953", 1)
+	if res.VerifyFailures != 0 {
+		t.Fatalf("%d verify failures", res.VerifyFailures)
+	}
+	if len(res.Tests) != len(res.TestTargets) {
+		t.Fatalf("tests/targets misaligned: %d vs %d", len(res.Tests), len(res.TestTargets))
+	}
+	if len(res.Tests) == 0 || res.Detected == 0 {
+		t.Fatal("setup: driver emitted no tests")
+	}
+
+	// Replay the compacted set with a fresh serial simulator: the union of
+	// detections must cover at least the counted faults, and every kept
+	// test must still detect its recorded target.
+	detectedUnion := map[fault.Fault]bool{}
+	c := gen.MustBuild("s953")
+	for k, test := range res.Tests {
+		s := fault.NewSim(c)
+		s.LoadSequence(test, nil)
+		if ok, _ := s.Detects(res.TestTargets[k]); !ok {
+			t.Fatalf("compacted test %d no longer detects its target", k)
+		}
+		for i, d := range s.DetectAll(faults) {
+			if d.Detected {
+				detectedUnion[faults[i]] = true
+			}
+		}
+	}
+	if len(detectedUnion) < res.Detected {
+		t.Fatalf("compacted tests detect only %d faults, driver counted %d",
+			len(detectedUnion), res.Detected)
+	}
+}
+
+// TestCompactTestsShrinksOrKeeps: compaction accounting is consistent with
+// the uncompacted run — the kept tests are a subsequence of the original
+// emission and TestsCompacted records exactly what was removed.
+func TestCompactTestsShrinksOrKeeps(t *testing.T) {
+	c := gen.MustBuild("s953")
+	lr := learn.Learn(c, learn.Options{})
+	faults, _ := fault.Collapse(c)
+	if len(faults) > 150 {
+		faults = faults[:150]
+	}
+	plain := driverRun(c, lr, faults, ModeForbidden, 1)
+	res, _ := compactRun(t, "s953", 1)
+	if res.TestsCompacted != len(plain.Tests)-len(res.Tests) {
+		t.Fatalf("TestsCompacted = %d, want %d", res.TestsCompacted, len(plain.Tests)-len(res.Tests))
+	}
+	if res.Detected != plain.Detected || res.Untestable != plain.Untestable || res.Aborted != plain.Aborted {
+		t.Fatal("compaction changed the fault accounting")
+	}
+	// Kept tests appear in the original emission order.
+	j := 0
+	for _, test := range res.Tests {
+		found := false
+		for ; j < len(plain.Tests); j++ {
+			if dumpTest(plain.Tests[j]) == dumpTest(test) {
+				found = true
+				j++
+				break
+			}
+		}
+		if !found {
+			t.Fatal("compacted tests are not a subsequence of the original emission")
+		}
+	}
+}
+
+func dumpTest(test [][]logic.V) string {
+	var sb []byte
+	for _, vec := range test {
+		for _, v := range vec {
+			sb = append(sb, v.String()...)
+		}
+		sb = append(sb, '|')
+	}
+	return string(sb)
+}
+
+// TestCompactTestsSerialEquivalence: compaction is deterministic, so serial
+// and parallel compacted runs stay byte-identical.
+func TestCompactTestsSerialEquivalence(t *testing.T) {
+	base, _ := compactRun(t, "s953", 1)
+	for _, w := range []int{2, 4} {
+		got, _ := compactRun(t, "s953", w)
+		if dumpRun(got) != dumpRun(base) {
+			t.Fatalf("workers=%d: compacted run differs from serial", w)
+		}
+		if got.TestsCompacted != base.TestsCompacted {
+			t.Fatalf("workers=%d: TestsCompacted %d vs %d", w, got.TestsCompacted, base.TestsCompacted)
+		}
+	}
+}

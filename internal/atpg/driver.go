@@ -33,6 +33,17 @@ type RunOptions struct {
 	// fault order, so every count, test and backtrack total is
 	// bit-identical to the serial run for any value (see parallel.go).
 	Parallelism int
+
+	// CompactTests enables static test-set compaction after generation: a
+	// reverse-order fault-simulation pass over the emitted tests (newest
+	// first) that keeps a test only if it detects a fault no kept test
+	// already covers. Tests generated late tend to detect many of the
+	// faults earlier tests were generated for, so replaying in reverse
+	// drops the redundant early tests. Coverage is preserved exactly: the
+	// test that first dropped a fault always re-detects it. The pass runs
+	// on the packed fault simulator and is deterministic, so serial and
+	// parallel runs still emit identical test sets.
+	CompactTests bool
 }
 
 // RunResult summarizes a test-generation run — one cell group of the
@@ -56,6 +67,10 @@ type RunResult struct {
 	// simulator did not confirm; they are reclassified as aborted and
 	// indicate a generator bug (always 0 in our test suite).
 	VerifyFailures int
+
+	// TestsCompacted counts tests removed by the reverse-order compaction
+	// pass (0 unless RunOptions.CompactTests).
+	TestsCompacted int
 }
 
 // Coverage returns detected / total.
@@ -104,6 +119,9 @@ func Run(c *netlist.Circuit, opt RunOptions) RunResult {
 	} else {
 		st.runSerial()
 	}
+	if opt.CompactTests {
+		st.compactTests()
+	}
 	st.res.Duration = time.Since(start)
 	return st.res
 }
@@ -122,12 +140,16 @@ type runState struct {
 	slot    []int
 	dropped []atomic.Bool // per slot; written only in canonical order
 
-	fsim *fault.Sim         // detection backend when serial
-	psim *fault.ParallelSim // detection backend when parallel
+	fsim *fault.PackedSim   // packed detection backend when serial
+	psim *fault.ParallelSim // batched detection backend when parallel
 
 	// scratch for the drop pass.
 	rem       []int
 	remFaults []fault.Fault
+
+	// detected lists the faults dropped by detection, in canonical drop
+	// order — the coverage universe the compaction pass must preserve.
+	detected []fault.Fault
 
 	res RunResult
 }
@@ -153,7 +175,7 @@ func newRunState(c *netlist.Circuit, opt RunOptions, faults []fault.Fault, worke
 	if workers > 1 {
 		st.psim = fault.NewParallelSim(c, workers)
 	} else {
-		st.fsim = fault.NewSim(c)
+		st.fsim = fault.NewPackedSim(c)
 	}
 
 	if len(opt.PreUntestable) > 0 {
@@ -183,15 +205,19 @@ func (st *runState) genOptions(i int) Options {
 }
 
 // detect fault-simulates the test against the given faults using whichever
-// backend the run owns. Detection of one fault is independent of every
-// other, so both backends return identical slices.
+// backend the run owns: the packed simulator serially, worker-sharded
+// batches in parallel. The serial path walks the batches in reverse fault
+// order — the classic fault-dropping schedule that simulates the
+// not-yet-targeted tail of the list first. Detection of one fault is
+// independent of every other, so every backend and order returns an
+// identical slice.
 func (st *runState) detect(test [][]logic.V, faults []fault.Fault) []fault.Detection {
 	if st.psim != nil {
 		st.psim.LoadSequence(test, nil)
 		return st.psim.Detect(faults)
 	}
 	st.fsim.LoadSequence(test, nil)
-	return st.fsim.DetectAll(faults)
+	return st.fsim.DetectAllReverse(faults)
 }
 
 // process folds the Generate result for fault-list position i into the
@@ -240,8 +266,48 @@ func (st *runState) process(i int, g Result) {
 			}
 			st.dropped[st.slot[p]].Store(true)
 			st.res.Detected++
+			st.detected = append(st.detected, st.faults[p])
 		}
 	}
+}
+
+// compactTests is the reverse-order fault-simulation compaction pass: the
+// emitted tests are replayed newest-first against the run's detected
+// faults, each test keeping only what no later-kept test already covers; a
+// test that detects nothing new is dropped. Every detected fault is
+// re-detected by the test that originally dropped it (detection is a pure
+// function of test and fault), so the sweep always ends with full coverage
+// and the kept set is a deterministic function of the emitted tests.
+func (st *runState) compactTests() {
+	if len(st.res.Tests) <= 1 {
+		return
+	}
+	remaining := append([]fault.Fault(nil), st.detected...)
+	keep := make([]bool, len(st.res.Tests))
+	for ti := len(st.res.Tests) - 1; ti >= 0 && len(remaining) > 0; ti-- {
+		dets := st.detect(st.res.Tests[ti], remaining)
+		next := remaining[:0]
+		for i, d := range dets {
+			if d.Detected {
+				keep[ti] = true
+			} else {
+				next = append(next, remaining[i])
+			}
+		}
+		remaining = next
+	}
+	tests := st.res.Tests[:0]
+	targets := st.res.TestTargets[:0]
+	for ti, k := range keep {
+		if k {
+			tests = append(tests, st.res.Tests[ti])
+			targets = append(targets, st.res.TestTargets[ti])
+		} else {
+			st.res.TestsCompacted++
+		}
+	}
+	st.res.Tests = tests
+	st.res.TestTargets = targets
 }
 
 // runSerial is the classic driver loop: one PODEM search at a time, in

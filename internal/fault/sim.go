@@ -18,12 +18,16 @@ type Sim struct {
 	c *netlist.Circuit
 
 	// Good-machine caches, filled by LoadSequence or adopted read-only
-	// from another Sim (ParallelSim workers share one loaded sequence).
+	// from another Sim.
 	vectors   [][]logic.V // PI values per frame
 	goodVals  [][]logic.V // node values per frame
 	goodState [][]logic.V // state per frame boundary (index 0 = initial)
 
-	good *sim.FuncSim // good-machine simulator, reused across loads
+	// good is the packed kernel the good-machine pass runs through (all
+	// lanes broadcast): the compiled program's word ops replace the
+	// per-gate scalar EvalSlice loop FuncSim would run. Reused across
+	// loads.
+	good *sim.PackedEngine
 
 	// Faulty overlay with epoch stamps (no clearing between faults).
 	faulty []logic.V
@@ -57,11 +61,11 @@ func NewSim(c *netlist.Circuit) *Sim {
 	for i, po := range c.POs {
 		poOf[po.Pin.Node] = append(poOf[po.Pin.Node], i)
 	}
-	return newSimWith(c, sim.NewFuncSim(c), maxLevel, poOf)
+	return newSimWith(c, sim.NewPackedEngine(c), maxLevel, poOf)
 }
 
 // newSimWith builds a simulator around the shared immutable structure.
-func newSimWith(c *netlist.Circuit, good *sim.FuncSim, maxLevel int, poOf [][]int) *Sim {
+func newSimWith(c *netlist.Circuit, good *sim.PackedEngine, maxLevel int, poOf [][]int) *Sim {
 	return &Sim{
 		c:        c,
 		good:     good,
@@ -76,41 +80,29 @@ func newSimWith(c *netlist.Circuit, good *sim.FuncSim, maxLevel int, poOf [][]in
 }
 
 // Clone returns an independent simulator for the same circuit: the
-// immutable structure (circuit, PO index) is shared, while the good-machine
-// simulator, caches and the faulty overlay are private to the clone. The
-// clone starts with no loaded sequence; load one with LoadSequence, or let
-// a ParallelSim distribute a shared sequence across its worker clones.
+// immutable structure (circuit, PO index, compiled good-machine program) is
+// shared, while the good-machine engine, caches and the faulty overlay are
+// private to the clone. The clone starts with no loaded sequence.
 func (s *Sim) Clone() *Sim {
 	return newSimWith(s.c, s.good.Clone(), s.maxLevel, s.poOf)
 }
 
-// adoptSequence points s's good-machine caches at the sequence loaded into
-// src. The cached frames are shared read-only; the outer slices are
-// copied, so a later LoadSequence on src cannot tear what s observes.
-func (s *Sim) adoptSequence(src *Sim) {
-	s.vectors = append(s.vectors[:0], src.vectors...)
-	s.goodVals = append(s.goodVals[:0], src.goodVals...)
-	s.goodState = append(s.goodState[:0], src.goodState...)
-}
-
 // LoadSequence simulates the good machine over the vectors (PI values per
 // frame) from the given initial state (nil = all X) and caches every frame.
+// The pass runs through the packed three-valued kernel with all lanes
+// broadcast; lane 0 is extracted into the scalar per-frame caches the
+// event-driven difference propagation reads.
 func (s *Sim) LoadSequence(vectors [][]logic.V, init []logic.V) {
 	s.vectors = vectors
 	s.goodVals = s.goodVals[:0]
 	s.goodState = s.goodState[:0]
-	f := s.good
-	f.Reset(init)
-	st0 := append([]logic.V(nil), f.State()...)
-	s.goodState = append(s.goodState, st0)
+	e := s.good
+	e.ResetBroadcast(init)
+	s.goodState = append(s.goodState, e.LaneState(0, make([]logic.V, 0, len(s.c.Seqs))))
 	for _, vec := range vectors {
-		f.Step(vec)
-		vals := make([]logic.V, s.c.NumNodes())
-		for id := range vals {
-			vals[id] = f.Value(netlist.NodeID(id))
-		}
-		s.goodVals = append(s.goodVals, vals)
-		s.goodState = append(s.goodState, append([]logic.V(nil), f.State()...))
+		e.StepBroadcast(vec)
+		s.goodVals = append(s.goodVals, e.LaneValues(0, make([]logic.V, 0, s.c.NumNodes())))
+		s.goodState = append(s.goodState, e.LaneState(0, make([]logic.V, 0, len(s.c.Seqs))))
 	}
 }
 

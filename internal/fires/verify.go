@@ -17,7 +17,7 @@ func Verify(c *netlist.Circuit, res *Result, seed uint64, sequences, frames int)
 		return 0
 	}
 	r := logic.NewRand64(seed)
-	s := fault.NewSim(c)
+	s := fault.NewPackedSim(c)
 	alive := res.Untestable
 	removed := 0
 	for q := 0; q < sequences; q++ {
@@ -30,9 +30,10 @@ func Verify(c *netlist.Circuit, res *Result, seed uint64, sequences, frames int)
 			vectors[t] = vec
 		}
 		s.LoadSequence(vectors, nil)
+		dets := s.DetectAll(alive)
 		keep := alive[:0]
-		for _, f := range alive {
-			if ok, _ := s.Detects(f); ok {
+		for i, f := range alive {
+			if dets[i].Detected {
 				removed++
 				continue
 			}

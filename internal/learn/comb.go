@@ -1,9 +1,13 @@
 package learn
 
 import (
+	"sync"
+	"sync/atomic"
+
 	"repro/internal/imply"
 	"repro/internal/logic"
 	"repro/internal/netlist"
+	"repro/internal/sim"
 )
 
 // Combinational runs classical static combinational learning (SOCRATES
@@ -23,29 +27,50 @@ import (
 // Relations are added to db with the combinational flag set (upgrading
 // duplicates already learned sequentially); injections that conflict prove
 // combinational ties, which are returned.
+//
+// Combinational runs the sweep serially; CombinationalParallel shards it.
 func Combinational(c *netlist.Circuit, db *imply.DB, ties map[netlist.NodeID]logic.V) []Tie {
-	p := newCombProp(c, ties)
-	var newTies []Tie
+	return CombinationalParallel(c, db, ties, 1)
+}
 
+// injOut is the shard-private outcome of one injection: either a proven
+// tie, or the implied literals in discovery order.
+type injOut struct {
+	tie  bool
+	imps []imply.Lit
+}
+
+// CombinationalParallel is Combinational sharded over workers (0 = one per
+// core, clamped like every other pool). Injections are independent — each
+// runs in a clean frame against the same read-only tie constants — so
+// workers fill per-injection shards and a serial merge in canonical node
+// order performs every db.Add and tie emission exactly as the serial sweep
+// would: the resulting database and tie list are bit-identical for any
+// worker count (TestCombinationalParallelDeterminism).
+func CombinationalParallel(c *netlist.Circuit, db *imply.DB, ties map[netlist.NodeID]logic.V, workers int) []Tie {
+	// Injection sites in canonical node order.
+	var nodes []netlist.NodeID
 	for id := range c.Nodes {
 		n := netlist.NodeID(id)
-		kind := c.Nodes[id].Kind
-		if kind == netlist.KindPI {
+		if c.Nodes[id].Kind == netlist.KindPI {
 			continue // PI injections yield only forward facts already cheap for ATPG
 		}
 		if _, tied := ties[n]; tied {
 			continue
 		}
-		for _, v := range []logic.V{logic.Zero, logic.One} {
-			ok := p.run(n, v)
-			if !ok {
+		nodes = append(nodes, n)
+	}
+
+	out := make([][2]injOut, len(nodes))
+	sweep := func(p *combProp, i int) {
+		n := nodes[i]
+		for vi, v := range []logic.V{logic.Zero, logic.One} {
+			o := &out[i][vi]
+			if !p.run(n, v) {
 				// Injection impossible: n is combinationally tied to ¬v.
-				if _, dup := ties[n]; !dup {
-					newTies = append(newTies, Tie{Node: n, Val: v.Not(), Frame: 0})
-				}
+				o.tie = true
 				continue
 			}
-			src := imply.Lit{Node: n, Val: v}
 			for _, m := range p.touched {
 				if m == n {
 					continue
@@ -56,9 +81,55 @@ func Combinational(c *netlist.Circuit, db *imply.DB, ties map[netlist.NodeID]log
 				if !c.IsSeq(n) && !c.IsSeq(m) {
 					continue
 				}
-				db.Add(src, imply.Lit{Node: m, Val: p.values[m]}, 0, true, 0)
+				o.imps = append(o.imps, imply.Lit{Node: m, Val: p.values[m]})
 			}
 		}
+	}
+
+	workers = sim.ClampWorkers(workers)
+	if workers > len(nodes) {
+		workers = len(nodes)
+	}
+	if workers <= 1 {
+		p := newCombProp(c, ties)
+		for i := range nodes {
+			sweep(p, i)
+		}
+	} else {
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		wg.Add(workers)
+		for w := 0; w < workers; w++ {
+			go func() {
+				defer wg.Done()
+				p := newCombProp(c, ties)
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= len(nodes) {
+						return
+					}
+					sweep(p, i)
+				}
+			}()
+		}
+		wg.Wait()
+	}
+
+	// Deterministic merge in canonical order.
+	var newTies []Tie
+	for i, n := range nodes {
+		for vi, v := range []logic.V{logic.Zero, logic.One} {
+			o := &out[i][vi]
+			if o.tie {
+				newTies = append(newTies, Tie{Node: n, Val: v.Not(), Frame: 0})
+				continue
+			}
+			src := imply.Lit{Node: n, Val: v}
+			for _, lit := range o.imps {
+				db.Add(src, lit, 0, true, 0)
+			}
+		}
+		out[i] = [2]injOut{} // release as the merge advances
 	}
 	return newTies
 }

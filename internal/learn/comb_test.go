@@ -1,6 +1,8 @@
 package learn
 
 import (
+	"fmt"
+	"strings"
 	"testing"
 
 	"repro/internal/imply"
@@ -26,6 +28,38 @@ func combCircuit(t *testing.T) *netlist.Circuit {
 	b.PO("o2", netlist.P("nor"))
 	b.PO("o3", netlist.P("xor"))
 	return b.MustBuild()
+}
+
+// TestCombinationalParallelDeterminism: the sharded combinational sweep
+// produces a bit-identical database and tie list for any worker count, with
+// and without tie constants folded in.
+func TestCombinationalParallelDeterminism(t *testing.T) {
+	c := combCircuit(t)
+	dump := func(db *imply.DB, ties []Tie) string {
+		var sb strings.Builder
+		if err := db.Serialize(&sb); err != nil {
+			t.Fatal(err)
+		}
+		for _, tie := range ties {
+			fmt.Fprintf(&sb, "tie %s=%s\n", c.NameOf(tie.Node), tie.Val)
+		}
+		return sb.String()
+	}
+	for _, preTies := range []map[netlist.NodeID]logic.V{
+		nil,
+		{c.MustLookup("inv"): logic.One},
+	} {
+		baseDB := imply.NewDB(c)
+		base := dump(baseDB, CombinationalParallel(c, baseDB, preTies, 1))
+		for _, w := range []int{2, 3, 8} {
+			db := imply.NewDB(c)
+			got := dump(db, CombinationalParallel(c, db, preTies, w))
+			if got != base {
+				t.Fatalf("workers=%d: combinational sweep differs from serial (%d vs %d bytes)",
+					w, len(got), len(base))
+			}
+		}
+	}
 }
 
 func TestCombBackwardNand(t *testing.T) {

@@ -83,13 +83,14 @@ type Options struct {
 	MaxPairsPerStem int
 
 	// Parallelism is the number of simulation workers sharding the
-	// single-node and multiple-node sweeps (0 selects
-	// runtime.GOMAXPROCS(0); 1 runs fully serial; oversized requests are
-	// clamped to a few workers per core). Each worker owns a cloned
-	// engine and records into a private shard; shards are merged in
-	// canonical order, so the learned relations, ties, equivalences,
-	// statistics and serialized database are bit-identical for every
-	// worker count.
+	// single-node, multiple-node and classical combinational sweeps (0
+	// selects runtime.GOMAXPROCS(0); 1 runs fully serial; oversized
+	// requests are clamped to a few workers per core). Each worker owns a
+	// cloned engine (or a private single-frame implication engine for the
+	// combinational sweep) and records into a private shard; shards are
+	// merged in canonical order, so the learned relations, ties,
+	// equivalences, statistics and serialized database are bit-identical
+	// for every worker count.
 	Parallelism int
 
 	// Equiv tunes equivalence identification.
@@ -275,7 +276,7 @@ func Learn(c *netlist.Circuit, opt Options) *Result {
 				combTies[n] = v
 			}
 		}
-		for _, tie := range Combinational(c, l.db, combTies) {
+		for _, tie := range CombinationalParallel(c, l.db, combTies, l.opt.Parallelism) {
 			l.addTie(tie.Node, tie.Val, 0)
 		}
 	}

@@ -58,6 +58,27 @@ func (p PV) Not() PV { return PV{Ones: p.Zeros, Zeros: p.Ones} }
 // Valid reports that no lane is both 0 and 1.
 func (p PV) Valid() bool { return p.Ones&p.Zeros == 0 }
 
+// Known returns the mask of lanes carrying a known (0 or 1) value.
+func (p PV) Known() uint64 { return p.Ones | p.Zeros }
+
+// Merge overwrites the lanes selected by mask with v's lanes and leaves the
+// rest untouched. It is the fault-insertion primitive of the packed fault
+// simulator: a stuck value is merged over a node's computed value in exactly
+// the lanes whose fault lives at that node.
+func (p PV) Merge(v PV, mask uint64) PV {
+	return PV{
+		Ones:  (p.Ones &^ mask) | (v.Ones & mask),
+		Zeros: (p.Zeros &^ mask) | (v.Zeros & mask),
+	}
+}
+
+// DiffKnown returns the mask of lanes where p and q both carry known values
+// that differ — the packed form of the conservative detection rule "good
+// known, faulty known, different".
+func (p PV) DiffKnown(q PV) uint64 {
+	return (p.Ones & q.Zeros) | (p.Zeros & q.Ones)
+}
+
 // PEvalSlice evaluates op lane-wise over parallel vectors.
 func PEvalSlice(op Op, ins []PV) PV {
 	switch op {

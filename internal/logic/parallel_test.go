@@ -1,0 +1,154 @@
+package logic
+
+import (
+	"fmt"
+	"testing"
+)
+
+// allEvalOps enumerates every gate operation the evaluators support,
+// constants included (allOps in logic_test.go stops at XNOR).
+var allEvalOps = []Op{OpBuf, OpNot, OpAnd, OpNand, OpOr, OpNor, OpXor, OpXnor, OpConst0, OpConst1}
+
+// randPV draws a 64-lane vector with roughly xWeight/8 of the lanes unknown;
+// the remaining lanes split evenly between 0 and 1. Every drawn vector
+// satisfies the Ones/Zeros invariant by construction.
+func randPV(r *Rand64, xWeight int) PV {
+	var p PV
+	for lane := 0; lane < W; lane++ {
+		if r.Intn(8) < xWeight {
+			continue // X
+		}
+		if r.Bool() {
+			p.Ones |= 1 << uint(lane)
+		} else {
+			p.Zeros |= 1 << uint(lane)
+		}
+	}
+	return p
+}
+
+// TestPEvalSliceMatchesScalar is the packed kernel's core contract: for
+// every op, fanin widths 1-16 and input mixes from fully known to X-heavy,
+// PEvalSlice must agree with the scalar three-valued EvalSlice in every
+// lane, and the Ones/Zeros invariant must hold after every evaluation.
+func TestPEvalSliceMatchesScalar(t *testing.T) {
+	r := NewRand64(0x9acc)
+	for _, op := range allEvalOps {
+		for width := 1; width <= 16; width++ {
+			// xWeight 0 = fully binary, 7 = X-heavy: the X-propagation
+			// rules are where a packed kernel typically goes wrong.
+			for xWeight := 0; xWeight <= 7; xWeight++ {
+				for trial := 0; trial < 8; trial++ {
+					ins := make([]PV, width)
+					for i := range ins {
+						ins[i] = randPV(r, xWeight)
+					}
+					got := PEvalSlice(op, ins)
+					if !got.Valid() {
+						t.Fatalf("%s width=%d: Ones/Zeros invariant violated: %+v", op, width, got)
+					}
+					scalarIns := make([]V, width)
+					for lane := 0; lane < W; lane++ {
+						for i := range ins {
+							scalarIns[i] = ins[i].Get(lane)
+						}
+						want := EvalSlice(op, scalarIns)
+						if v := got.Get(lane); v != want {
+							t.Fatalf("%s width=%d xw=%d lane=%d: packed %s, scalar %s (inputs %v)",
+								op, width, xWeight, lane, v, want, scalarIns)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// FuzzPEvalSlice drives the same differential check from fuzz-chosen seeds,
+// so `go test -fuzz` can explore input mixes the fixed sweep misses.
+func FuzzPEvalSlice(f *testing.F) {
+	f.Add(uint64(1), uint8(2), uint8(3))
+	f.Add(uint64(0xdead), uint8(6), uint8(16))
+	f.Fuzz(func(t *testing.T, seed uint64, opRaw, widthRaw uint8) {
+		op := allEvalOps[int(opRaw)%len(allEvalOps)]
+		width := int(widthRaw)%16 + 1
+		r := NewRand64(seed)
+		ins := make([]PV, width)
+		for i := range ins {
+			ins[i] = randPV(r, r.Intn(8))
+		}
+		got := PEvalSlice(op, ins)
+		if !got.Valid() {
+			t.Fatalf("%s width=%d: invariant violated: %+v", op, width, got)
+		}
+		scalarIns := make([]V, width)
+		for lane := 0; lane < W; lane++ {
+			for i := range ins {
+				scalarIns[i] = ins[i].Get(lane)
+			}
+			if want := EvalSlice(op, scalarIns); got.Get(lane) != want {
+				t.Fatalf("%s width=%d lane=%d: packed %s, scalar %s", op, width, lane, got.Get(lane), want)
+			}
+		}
+	})
+}
+
+func TestPVMerge(t *testing.T) {
+	r := NewRand64(0x3e46)
+	for trial := 0; trial < 200; trial++ {
+		p := randPV(r, 3)
+		v := randPV(r, 3)
+		mask := r.Next()
+		got := p.Merge(v, mask)
+		if !got.Valid() {
+			t.Fatalf("Merge broke the invariant: %+v", got)
+		}
+		for lane := 0; lane < W; lane++ {
+			want := p.Get(lane)
+			if mask&(1<<uint(lane)) != 0 {
+				want = v.Get(lane)
+			}
+			if got.Get(lane) != want {
+				t.Fatalf("trial %d lane %d: Merge = %s, want %s", trial, lane, got.Get(lane), want)
+			}
+		}
+	}
+}
+
+func TestPVDiffKnown(t *testing.T) {
+	r := NewRand64(0xd1ff)
+	for trial := 0; trial < 200; trial++ {
+		a := randPV(r, 3)
+		b := randPV(r, 3)
+		diff := a.DiffKnown(b)
+		for lane := 0; lane < W; lane++ {
+			av, bv := a.Get(lane), b.Get(lane)
+			want := av.Known() && bv.Known() && av != bv
+			if got := diff&(1<<uint(lane)) != 0; got != want {
+				t.Fatalf("trial %d lane %d: DiffKnown(%s,%s) = %v, want %v", trial, lane, av, bv, got, want)
+			}
+		}
+	}
+}
+
+func TestPVKnown(t *testing.T) {
+	p := PV{}
+	p.Set(3, One)
+	p.Set(7, Zero)
+	if want := uint64(1<<3 | 1<<7); p.Known() != want {
+		t.Fatalf("Known = %#x, want %#x", p.Known(), want)
+	}
+}
+
+// TestPVConstBroadcast pins the broadcast representation the packed good
+// machine relies on: every lane of PVConst(v) reads back v.
+func TestPVConstBroadcast(t *testing.T) {
+	for _, v := range []V{Zero, One, X} {
+		p := PVConst(v)
+		for lane := 0; lane < W; lane++ {
+			if p.Get(lane) != v {
+				t.Fatal(fmt.Sprintf("PVConst(%s) lane %d = %s", v, lane, p.Get(lane)))
+			}
+		}
+	}
+}

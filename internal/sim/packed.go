@@ -1,0 +1,361 @@
+package sim
+
+import (
+	"fmt"
+
+	"repro/internal/logic"
+	"repro/internal/netlist"
+)
+
+// This file holds the word-parallel simulation machinery: a compiled
+// combinational evaluation program (prog) shared by every 64-way simulator,
+// and PackedEngine, a three-valued simulator that steps 64 machines per
+// node word. PackedEngine is the kernel underneath the packed fault
+// simulator (fault.PackedSim): each lane carries one faulty machine, fault
+// sites are forced through per-lane masks, and the good machine runs as a
+// broadcast (all lanes equal) instance of the same kernel.
+
+// progGate is one compiled gate: its node, op and flattened fanin range.
+type progGate struct {
+	node   netlist.NodeID
+	op     logic.Op
+	lo, hi int32 // pins[lo:hi]
+}
+
+// prog is a circuit's combinational logic compiled into a flat instruction
+// stream: the gates of EvalOrder with their fanin pins copied into one
+// contiguous slice. Evaluating the stream in order replaces the per-gate
+// gather-into-slice/EvalSlice pattern the scalar simulators use — the
+// instruction fetch is sequential and the inner loops are branch-light.
+// A prog is immutable after compile and shared freely across clones.
+type prog struct {
+	gates []progGate
+	pins  []netlist.Pin
+}
+
+// compile builds the evaluation program for c.
+func compile(c *netlist.Circuit) *prog {
+	order := c.EvalOrder()
+	p := &prog{gates: make([]progGate, 0, len(order))}
+	for _, id := range order {
+		fanin := c.Fanin(id)
+		lo := int32(len(p.pins))
+		p.pins = append(p.pins, fanin...)
+		p.gates = append(p.gates, progGate{
+			node: id,
+			op:   c.Nodes[id].Op,
+			lo:   lo,
+			hi:   int32(len(p.pins)),
+		})
+	}
+	return p
+}
+
+// sweepWords evaluates the program over 64-way binary words in place:
+// words is indexed by node and must already hold the pseudo-input values.
+// Tied nodes are skipped (their words stay as the caller set them). This is
+// the one eval core behind PatternSim.Round and PatternSim.EvalWith.
+func (p *prog) sweepWords(words []uint64, ties map[netlist.NodeID]logic.V) {
+	var buf [16]uint64
+	for gi := range p.gates {
+		g := &p.gates[gi]
+		if len(ties) > 0 {
+			if _, tied := ties[g.node]; tied {
+				continue
+			}
+		}
+		pins := p.pins[g.lo:g.hi]
+		vals := buf[:0]
+		if cap(vals) < len(pins) {
+			vals = make([]uint64, 0, len(pins))
+		}
+		for _, pin := range pins {
+			w := words[pin.Node]
+			if pin.Inv {
+				w = ^w
+			}
+			vals = append(vals, w)
+		}
+		words[g.node] = logic.BEvalSlice(g.op, vals)
+	}
+}
+
+// PackedEngine is a 64-way three-valued functional simulator: every node
+// holds a logic.PV word whose lanes are 64 independent machines sharing the
+// circuit and the per-frame primary-input values. Semantics per lane are
+// exactly FuncSim.Step — pessimistic three-valued gates, active set/reset
+// (set priority), multi-port latch write ports — verified by the
+// differential tests in packed_test.go.
+//
+// Fault insertion: Force pins a node to a stuck value in a subset of lanes;
+// the forced value is re-asserted at every read point of a frame (source
+// setup, after gate evaluation, after state capture), which is the packed
+// equivalent of FuncSim.SetFault in each selected lane.
+//
+// A PackedEngine is not safe for concurrent use; Clone gives each worker an
+// independent engine sharing the immutable compiled program.
+type PackedEngine struct {
+	c    *netlist.Circuit
+	prog *prog
+
+	values []logic.PV // per node, current frame
+	state  []logic.PV // per sequential element, indexed like c.Seqs
+
+	forceVal  []logic.PV // per node: stuck values in forced lanes
+	forceMask []uint64   // per node: lanes carrying a forced value
+	forced    []netlist.NodeID
+
+	piScratch []logic.PV // StepBroadcast scratch
+}
+
+// NewPackedEngine returns a packed simulator for c with all-X state.
+func NewPackedEngine(c *netlist.Circuit) *PackedEngine {
+	return newPackedEngine(c, compile(c))
+}
+
+func newPackedEngine(c *netlist.Circuit, p *prog) *PackedEngine {
+	return &PackedEngine{
+		c:         c,
+		prog:      p,
+		values:    make([]logic.PV, c.NumNodes()),
+		state:     make([]logic.PV, len(c.Seqs)),
+		forceVal:  make([]logic.PV, c.NumNodes()),
+		forceMask: make([]uint64, c.NumNodes()),
+		piScratch: make([]logic.PV, len(c.PIs)),
+	}
+}
+
+// Clone returns an independent engine over the same circuit, sharing the
+// immutable compiled program. State and forces start clear.
+func (e *PackedEngine) Clone() *PackedEngine {
+	return newPackedEngine(e.c, e.prog)
+}
+
+// Reset sets the sequential state of every lane; init may be nil (all X) or
+// indexed like Circuit.Seqs. The slice is copied.
+func (e *PackedEngine) Reset(init []logic.PV) {
+	for i := range e.state {
+		if init == nil {
+			e.state[i] = logic.PX
+		} else {
+			e.state[i] = init[i]
+		}
+	}
+}
+
+// ResetBroadcast sets the same scalar state in every lane (nil = all X).
+func (e *PackedEngine) ResetBroadcast(init []logic.V) {
+	for i := range e.state {
+		if init == nil {
+			e.state[i] = logic.PX
+		} else {
+			e.state[i] = logic.PVConst(init[i])
+		}
+	}
+}
+
+// Force pins node n to the stuck value v in the lanes selected by mask,
+// accumulating over earlier Force calls (different lanes of one node may
+// carry different stuck values). Clear with ClearForces.
+func (e *PackedEngine) Force(n netlist.NodeID, v logic.V, mask uint64) {
+	if mask == 0 {
+		return
+	}
+	if e.forceMask[n] == 0 {
+		e.forced = append(e.forced, n)
+	}
+	e.forceVal[n] = e.forceVal[n].Merge(logic.PVConst(v), mask)
+	e.forceMask[n] |= mask
+}
+
+// ClearForces removes every forced value.
+func (e *PackedEngine) ClearForces() {
+	for _, n := range e.forced {
+		e.forceVal[n] = logic.PX
+		e.forceMask[n] = 0
+	}
+	e.forced = e.forced[:0]
+}
+
+// Step evaluates one frame with the given packed primary-input values
+// (indexed like Circuit.PIs; nil means all X) and advances the state of
+// all 64 lanes.
+func (e *PackedEngine) Step(pis []logic.PV) {
+	// Sources.
+	for i := range e.values {
+		e.values[i] = logic.PX
+	}
+	if pis != nil {
+		for i, id := range e.c.PIs {
+			e.values[id] = pis[i]
+		}
+	}
+	for i, id := range e.c.Seqs {
+		e.values[id] = e.state[i]
+	}
+	// Forced non-gate sources (fault sites on PIs and sequential outputs);
+	// forced gates are merged as the sweep produces their values.
+	for _, n := range e.forced {
+		if e.c.Nodes[n].Kind != netlist.KindGate {
+			e.values[n] = e.values[n].Merge(e.forceVal[n], e.forceMask[n])
+		}
+	}
+
+	e.sweep()
+	e.capture()
+}
+
+// StepBroadcast is Step with one scalar PI vector broadcast to all lanes.
+// Like FuncSim.Step, a non-nil vector must cover every primary input.
+func (e *PackedEngine) StepBroadcast(pis []logic.V) {
+	if pis == nil {
+		e.Step(nil)
+		return
+	}
+	for i := range e.piScratch {
+		e.piScratch[i] = logic.PVConst(pis[i])
+	}
+	e.Step(e.piScratch)
+}
+
+// sweep runs the compiled combinational program over the packed values.
+// The accumulator forms mirror logic.PEvalSlice; they are inlined here so
+// the hot path reads pins straight from the program without a gather slice.
+func (e *PackedEngine) sweep() {
+	vals := e.values
+	for gi := range e.prog.gates {
+		g := &e.prog.gates[gi]
+		pins := e.prog.pins[g.lo:g.hi]
+		var out logic.PV
+		switch g.op {
+		case logic.OpAnd, logic.OpNand:
+			out = logic.PV{Ones: ^uint64(0)}
+			for _, pin := range pins {
+				v := vals[pin.Node]
+				if pin.Inv {
+					v = v.Not()
+				}
+				out.Ones &= v.Ones
+				out.Zeros |= v.Zeros
+			}
+			if g.op == logic.OpNand {
+				out = out.Not()
+			}
+		case logic.OpOr, logic.OpNor:
+			out = logic.PV{Zeros: ^uint64(0)}
+			for _, pin := range pins {
+				v := vals[pin.Node]
+				if pin.Inv {
+					v = v.Not()
+				}
+				out.Ones |= v.Ones
+				out.Zeros &= v.Zeros
+			}
+			if g.op == logic.OpNor {
+				out = out.Not()
+			}
+		case logic.OpXor, logic.OpXnor:
+			known := ^uint64(0)
+			parity := uint64(0)
+			for _, pin := range pins {
+				v := vals[pin.Node]
+				if pin.Inv {
+					v = v.Not()
+				}
+				known &= v.Ones | v.Zeros
+				parity ^= v.Ones
+			}
+			out = logic.PV{Ones: parity & known, Zeros: ^parity & known}
+			if g.op == logic.OpXnor {
+				out = out.Not()
+			}
+		case logic.OpBuf:
+			out = vals[pins[0].Node]
+			if pins[0].Inv {
+				out = out.Not()
+			}
+		case logic.OpNot:
+			out = vals[pins[0].Node]
+			if !pins[0].Inv {
+				out = out.Not()
+			}
+		case logic.OpConst0:
+			out = logic.PVConst(logic.Zero)
+		case logic.OpConst1:
+			out = logic.PVConst(logic.One)
+		default:
+			panic(fmt.Sprintf("sim: packed sweep of unknown op %d", g.op))
+		}
+		if m := e.forceMask[g.node]; m != 0 {
+			out = out.Merge(e.forceVal[g.node], m)
+		}
+		vals[g.node] = out
+	}
+}
+
+// pinPV reads a pin over the packed values.
+func (e *PackedEngine) pinPV(p netlist.Pin) logic.PV {
+	v := e.values[p.Node]
+	if p.Inv {
+		v = v.Not()
+	}
+	return v
+}
+
+// capture advances the sequential state: the packed mirror of FuncSim's
+// capture with write ports, asynchronous reset then set (set priority), and
+// forced lanes of a faulted element re-asserted last.
+func (e *PackedEngine) capture() {
+	for i, id := range e.c.Seqs {
+		si := e.c.Nodes[id].Seq
+		q := e.pinPV(si.D)
+		for _, pt := range si.Ports {
+			en := e.pinPV(pt.Enable)
+			d := e.pinPV(pt.Data)
+			// en=1 -> d; en=0 -> q; en=X -> q if q==d (both known), else X.
+			enX := ^(en.Ones | en.Zeros)
+			q = logic.PV{
+				Ones:  en.Ones&d.Ones | en.Zeros&q.Ones | enX&q.Ones&d.Ones,
+				Zeros: en.Ones&d.Zeros | en.Zeros&q.Zeros | enX&q.Zeros&d.Zeros,
+			}
+		}
+		if si.HasReset() {
+			// r=1 -> 0; r=0 -> q; r=X -> 0 stays 0, everything else X.
+			r := e.pinPV(si.ResetNet)
+			q = logic.PV{Ones: q.Ones & r.Zeros, Zeros: r.Ones | q.Zeros}
+		}
+		if si.HasSet() {
+			// s=1 -> 1; s=0 -> q; s=X -> 1 stays 1, everything else X.
+			s := e.pinPV(si.SetNet)
+			q = logic.PV{Ones: s.Ones | q.Ones, Zeros: q.Zeros & s.Zeros}
+		}
+		if m := e.forceMask[id]; m != 0 {
+			q = q.Merge(e.forceVal[id], m)
+		}
+		e.state[i] = q
+	}
+}
+
+// Value returns the packed value of node n in the last evaluated frame.
+func (e *PackedEngine) Value(n netlist.NodeID) logic.PV { return e.values[n] }
+
+// State returns the current packed sequential state (aliased; do not
+// modify — copy before the next Step if the values must survive).
+func (e *PackedEngine) State() []logic.PV { return e.state }
+
+// LaneValues extracts the scalar node values of one lane, appending to dst.
+func (e *PackedEngine) LaneValues(lane int, dst []logic.V) []logic.V {
+	for _, v := range e.values {
+		dst = append(dst, v.Get(lane))
+	}
+	return dst
+}
+
+// LaneState extracts the scalar sequential state of one lane, appending to
+// dst.
+func (e *PackedEngine) LaneState(lane int, dst []logic.V) []logic.V {
+	for _, v := range e.state {
+		dst = append(dst, v.Get(lane))
+	}
+	return dst
+}

@@ -1,0 +1,260 @@
+package sim
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/logic"
+	"repro/internal/netlist"
+)
+
+// randSeqCircuit builds a random sequential circuit exercising everything
+// the packed kernel must mirror: every gate op, pin inversions, DFFs,
+// latches, asynchronous set/reset nets and a multi-port latch.
+func randSeqCircuit(seed uint64) *netlist.Circuit {
+	r := logic.NewRand64(seed)
+	b := netlist.NewBuilder(fmt.Sprintf("pk%d", seed))
+	var names []string
+	for i := 0; i < 5; i++ {
+		n := fmt.Sprintf("i%d", i)
+		b.PI(n)
+		names = append(names, n)
+	}
+	for i := 0; i < 6; i++ {
+		names = append(names, fmt.Sprintf("f%d", i))
+	}
+	ops := []logic.Op{
+		logic.OpAnd, logic.OpOr, logic.OpNand, logic.OpNor,
+		logic.OpNot, logic.OpBuf, logic.OpXor, logic.OpXnor,
+	}
+	for i := 0; i < 40; i++ {
+		n := fmt.Sprintf("g%d", i)
+		op := ops[r.Intn(len(ops))]
+		arity := 1
+		if op != logic.OpNot && op != logic.OpBuf {
+			arity = 2 + r.Intn(3)
+		}
+		refs := make([]netlist.Ref, 0, arity)
+		for k := 0; k < arity; k++ {
+			name := names[r.Intn(len(names))]
+			if r.Intn(4) == 0 {
+				refs = append(refs, netlist.N(name))
+			} else {
+				refs = append(refs, netlist.P(name))
+			}
+		}
+		b.Gate(n, op, refs...)
+		names = append(names, n)
+	}
+	gate := func() netlist.Ref { return netlist.P(fmt.Sprintf("g%d", r.Intn(40))) }
+	b.DFF("f0", gate(), netlist.Clock{})
+	b.DFF("f1", gate(), netlist.Clock{})
+	b.SetNet("f1", gate())
+	b.DFF("f2", gate(), netlist.Clock{})
+	b.ResetNet("f2", gate())
+	b.DFF("f3", gate(), netlist.Clock{})
+	b.SetNet("f3", gate())
+	b.ResetNet("f3", gate())
+	b.Latch("f4", gate(), netlist.Clock{})
+	b.Latch("f5", gate(), netlist.Clock{})
+	b.AddPort("f5", gate(), gate())
+	b.AddPort("f5", gate(), gate())
+	b.PO("o1", netlist.P("g39"))
+	b.PO("o2", netlist.N("g38"))
+	c, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// randV draws from {0, 1, X} with X weighted in.
+func randV(r *logic.Rand64) logic.V {
+	switch r.Intn(4) {
+	case 0:
+		return logic.X
+	case 1:
+		return logic.Zero
+	default:
+		return logic.One
+	}
+}
+
+// TestPackedEngineMatchesFuncSim is the kernel's core contract: with a
+// different stuck-at fault forced in each lane (and some lanes fault-free),
+// every lane of the packed engine must track a FuncSim carrying the same
+// fault through an X-heavy input sequence — node values and sequential
+// state, frame by frame.
+func TestPackedEngineMatchesFuncSim(t *testing.T) {
+	for _, seed := range []uint64{3, 29, 71, 104} {
+		c := randSeqCircuit(seed)
+		e := NewPackedEngine(c)
+		r := logic.NewRand64(seed ^ 0x9e37)
+
+		// Lane plan: lanes 0..47 get a random fault, 48..63 stay clean.
+		type laneFault struct {
+			node  netlist.NodeID
+			stuck logic.V
+		}
+		faults := make([]*laneFault, logic.W)
+		for lane := 0; lane < 48; lane++ {
+			faults[lane] = &laneFault{
+				node:  netlist.NodeID(r.Intn(c.NumNodes())),
+				stuck: logic.FromBool(r.Bool()),
+			}
+			e.Force(faults[lane].node, faults[lane].stuck, 1<<uint(lane))
+		}
+
+		// Reference machines, one per checked lane (checking all 64 keeps
+		// the test quadratic but the circuits are tiny).
+		refs := make([]*FuncSim, logic.W)
+		for lane := range refs {
+			refs[lane] = NewFuncSim(c)
+			refs[lane].Reset(nil)
+			if f := faults[lane]; f != nil {
+				refs[lane].SetFault(f.node, f.stuck)
+			}
+		}
+
+		e.Reset(nil)
+		var scratch []logic.V
+		for frame := 0; frame < 8; frame++ {
+			pis := make([]logic.V, len(c.PIs))
+			for i := range pis {
+				pis[i] = randV(r)
+			}
+			e.StepBroadcast(pis)
+			for lane := 0; lane < logic.W; lane++ {
+				refs[lane].Step(pis)
+				scratch = e.LaneValues(lane, scratch[:0])
+				for id := range c.Nodes {
+					if got, want := scratch[id], refs[lane].Value(netlist.NodeID(id)); got != want {
+						t.Fatalf("seed %d frame %d lane %d node %s: packed %s, scalar %s",
+							seed, frame, lane, c.NameOf(netlist.NodeID(id)), got, want)
+					}
+				}
+				scratch = e.LaneState(lane, scratch[:0])
+				for i, want := range refs[lane].State() {
+					if scratch[i] != want {
+						t.Fatalf("seed %d frame %d lane %d state %s: packed %s, scalar %s",
+							seed, frame, lane, c.NameOf(c.Seqs[i]), scratch[i], want)
+					}
+				}
+				for _, v := range e.values {
+					if !v.Valid() {
+						t.Fatalf("seed %d frame %d: Ones/Zeros invariant violated", seed, frame)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestPackedEnginePerLaneInputs drives different PI values per lane (the
+// usage pattern of pattern-parallel workloads) and checks a sample of lanes
+// against FuncSim.
+func TestPackedEnginePerLaneInputs(t *testing.T) {
+	c := randSeqCircuit(7)
+	e := NewPackedEngine(c)
+	r := logic.NewRand64(0x1a9e)
+
+	laneVecs := make([][][]logic.V, logic.W) // lane -> frame -> PI vector
+	frames := 6
+	for lane := range laneVecs {
+		laneVecs[lane] = make([][]logic.V, frames)
+		for f := range laneVecs[lane] {
+			vec := make([]logic.V, len(c.PIs))
+			for i := range vec {
+				vec[i] = randV(r)
+			}
+			laneVecs[lane][f] = vec
+		}
+	}
+
+	e.Reset(nil)
+	pis := make([]logic.PV, len(c.PIs))
+	var scratch []logic.V
+	for f := 0; f < frames; f++ {
+		for i := range pis {
+			var pv logic.PV
+			for lane := 0; lane < logic.W; lane++ {
+				pv.Set(lane, laneVecs[lane][f][i])
+			}
+			pis[i] = pv
+		}
+		e.Step(pis)
+		for _, lane := range []int{0, 1, 17, 40, 63} {
+			ref := NewFuncSim(c)
+			ref.Reset(nil)
+			for g := 0; g <= f; g++ {
+				ref.Step(laneVecs[lane][g])
+			}
+			scratch = e.LaneValues(lane, scratch[:0])
+			for id := range c.Nodes {
+				if got, want := scratch[id], ref.Value(netlist.NodeID(id)); got != want {
+					t.Fatalf("frame %d lane %d node %s: packed %s, scalar %s",
+						f, lane, c.NameOf(netlist.NodeID(id)), got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestPackedEngineForceAccumulation: two forces on one node in disjoint
+// lanes coexist, ClearForces removes both, and a clone starts clean.
+func TestPackedEngineForceAccumulation(t *testing.T) {
+	b := netlist.NewBuilder("force")
+	b.PI("a")
+	b.Gate("g", logic.OpBuf, netlist.P("a"))
+	b.PO("o", netlist.P("g"))
+	c := b.MustBuild()
+	g := c.MustLookup("g")
+
+	e := NewPackedEngine(c)
+	e.Force(g, logic.Zero, 1<<0)
+	e.Force(g, logic.One, 1<<1)
+	e.StepBroadcast([]logic.V{logic.One})
+	v := e.Value(g)
+	if v.Get(0) != logic.Zero || v.Get(1) != logic.One || v.Get(2) != logic.One {
+		t.Fatalf("forced lanes wrong: %s %s %s", v.Get(0), v.Get(1), v.Get(2))
+	}
+
+	clone := e.Clone()
+	clone.StepBroadcast([]logic.V{logic.One})
+	if cv := clone.Value(g); cv.Get(0) != logic.One {
+		t.Fatalf("clone inherited forces: %s", cv.Get(0))
+	}
+
+	e.ClearForces()
+	e.StepBroadcast([]logic.V{logic.Zero})
+	if v := e.Value(g); v.Get(0) != logic.Zero || v.Get(1) != logic.Zero {
+		t.Fatalf("ClearForces left residue: %s %s", v.Get(0), v.Get(1))
+	}
+}
+
+// TestPatternSimSharedCore: Round and EvalWith agree with the scalar
+// EvalBool reference after the shared-program rewrite.
+func TestPatternSimSharedCore(t *testing.T) {
+	c := randSeqCircuit(11)
+	p := NewPatternSim(c)
+	r := logic.NewRand64(42)
+	words := p.Round(r, nil)
+	// Cross-check a few nodes against scalar EvalBool lane by lane.
+	for _, id := range c.EvalOrder() {
+		n := &c.Nodes[id]
+		for lane := 0; lane < logic.W; lane += 13 {
+			ins := make([]bool, 0, 4)
+			for _, pin := range c.Fanin(id) {
+				w := words[pin.Node]
+				if pin.Inv {
+					w = ^w
+				}
+				ins = append(ins, w&(1<<uint(lane)) != 0)
+			}
+			want := logic.EvalBool(n.Op, ins)
+			if got := words[id]&(1<<uint(lane)) != 0; got != want {
+				t.Fatalf("node %s lane %d: %v want %v", c.NameOf(id), lane, got, want)
+			}
+		}
+	}
+}

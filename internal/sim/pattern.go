@@ -11,14 +11,30 @@ import (
 // It is the signature machine behind gate-equivalence identification
 // (paper Section 3.1: "Equivalent combinational gates can be efficiently
 // identified based on parallel pattern simulation techniques").
+//
+// The evaluation itself runs over the same compiled program (prog) the
+// packed three-valued engine uses; PatternSim only chooses the
+// pseudo-input words.
 type PatternSim struct {
 	c     *netlist.Circuit
+	prog  *prog
 	words []uint64 // signature word per node
 }
 
 // NewPatternSim returns a parallel-pattern simulator for c.
 func NewPatternSim(c *netlist.Circuit) *PatternSim {
-	return &PatternSim{c: c, words: make([]uint64, c.NumNodes())}
+	return &PatternSim{c: c, prog: compile(c), words: make([]uint64, c.NumNodes())}
+}
+
+// setTies folds tied gates in as constant words.
+func (p *PatternSim) setTies(ties map[netlist.NodeID]logic.V) {
+	for n, v := range ties {
+		if v == logic.One {
+			p.words[n] = ^uint64(0)
+		} else {
+			p.words[n] = 0
+		}
+	}
 }
 
 // Round fills every pseudo-input with 64 fresh random patterns from r,
@@ -31,33 +47,8 @@ func (p *PatternSim) Round(r *logic.Rand64, ties map[netlist.NodeID]logic.V) []u
 	for _, id := range p.c.Seqs {
 		p.words[id] = r.Next()
 	}
-	for n, v := range ties {
-		if v == logic.One {
-			p.words[n] = ^uint64(0)
-		} else {
-			p.words[n] = 0
-		}
-	}
-	var buf [16]uint64
-	for _, id := range p.c.EvalOrder() {
-		if _, tied := ties[id]; tied {
-			continue
-		}
-		n := &p.c.Nodes[id]
-		fanin := p.c.Fanin(id)
-		vals := buf[:0]
-		if cap(vals) < len(fanin) {
-			vals = make([]uint64, 0, len(fanin))
-		}
-		for _, pin := range fanin {
-			w := p.words[pin.Node]
-			if pin.Inv {
-				w = ^w
-			}
-			vals = append(vals, w)
-		}
-		p.words[id] = logic.BEvalSlice(n.Op, vals)
-	}
+	p.setTies(ties)
+	p.prog.sweepWords(p.words, ties)
 	return p.words
 }
 
@@ -72,32 +63,7 @@ func (p *PatternSim) EvalWith(inputs map[netlist.NodeID]uint64, ties map[netlist
 	for _, id := range p.c.Seqs {
 		p.words[id] = inputs[id]
 	}
-	for n, v := range ties {
-		if v == logic.One {
-			p.words[n] = ^uint64(0)
-		} else {
-			p.words[n] = 0
-		}
-	}
-	var buf [16]uint64
-	for _, id := range p.c.EvalOrder() {
-		if _, tied := ties[id]; tied {
-			continue
-		}
-		n := &p.c.Nodes[id]
-		fanin := p.c.Fanin(id)
-		vals := buf[:0]
-		if cap(vals) < len(fanin) {
-			vals = make([]uint64, 0, len(fanin))
-		}
-		for _, pin := range fanin {
-			w := p.words[pin.Node]
-			if pin.Inv {
-				w = ^w
-			}
-			vals = append(vals, w)
-		}
-		p.words[id] = logic.BEvalSlice(n.Op, vals)
-	}
+	p.setTies(ties)
+	p.prog.sweepWords(p.words, ties)
 	return p.words
 }

@@ -123,7 +123,9 @@ type (
 	ATPGOptions = atpg.Options
 	// RunOptions configures a full fault-list run; RunOptions.Parallelism
 	// shards the PODEM search and the fault-dropping simulation over
-	// concurrent workers with results bit-identical to a serial run.
+	// concurrent workers with results bit-identical to a serial run, and
+	// RunOptions.CompactTests drops redundant tests by reverse-order
+	// fault simulation after generation.
 	RunOptions = atpg.RunOptions
 	// RunResult summarizes detected/untestable/aborted counts and carries
 	// the emitted tests with their target faults.
@@ -132,9 +134,14 @@ type (
 	Fault = fault.Fault
 	// FaultDetection is the per-fault outcome of a fault-simulation pass.
 	FaultDetection = fault.Detection
-	// ParallelFaultSim shards fault simulation over worker clones of the
-	// event-driven sequential fault simulator; detection maps are
-	// bit-identical to a serial simulation for any worker count.
+	// PackedFaultSim is the word-level bit-parallel fault simulator: 64
+	// faulty machines per machine word, detection maps bit-identical to
+	// the event-driven scalar simulator.
+	PackedFaultSim = fault.PackedSim
+	// ParallelFaultSim shards packed fault simulation over worker clones,
+	// whole 64-fault batches at a time, so worker parallelism and word
+	// parallelism compose; detection maps are bit-identical to a serial
+	// simulation for any worker count.
 	ParallelFaultSim = fault.ParallelSim
 )
 
@@ -162,10 +169,16 @@ func SimulateFaults(c *Circuit, faults []Fault, test [][]V, workers int) []Fault
 	return ps.Detect(faults)
 }
 
-// NewParallelFaultSim returns a sharded fault simulator for repeated
-// sequences (workers <= 0 selects one per core).
+// NewParallelFaultSim returns a sharded packed fault simulator for
+// repeated sequences (workers <= 0 selects one per core).
 func NewParallelFaultSim(c *Circuit, workers int) *ParallelFaultSim {
 	return fault.NewParallelSim(c, workers)
+}
+
+// NewPackedFaultSim returns the single-threaded word-level bit-parallel
+// fault simulator (64 machines per word).
+func NewPackedFaultSim(c *Circuit) *PackedFaultSim {
+	return fault.NewPackedSim(c)
 }
 
 // GenerateTest targets a single fault.

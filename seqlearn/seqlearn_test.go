@@ -52,6 +52,41 @@ func TestPublicAPIEndToEnd(t *testing.T) {
 		t.Fatal("no outcome")
 	}
 
+	// Packed fault simulation through the public API: the packed and
+	// sharded simulators agree with SimulateFaults on an emitted test.
+	if len(run.Tests) > 0 {
+		test := run.Tests[0]
+		want := seqlearn.SimulateFaults(c, faults, test, 1)
+		ps := seqlearn.NewPackedFaultSim(c)
+		ps.LoadSequence(test, nil)
+		got := ps.DetectAll(faults)
+		if len(got) != len(want) {
+			t.Fatalf("packed detection map truncated: %d vs %d", len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("packed detection diverges at %d: %+v vs %+v", i, got[i], want[i])
+			}
+		}
+	}
+
+	// Reverse-order test compaction through the public API.
+	compacted := seqlearn.GenerateTests(c, seqlearn.RunOptions{
+		CompactTests: true,
+		ATPG: seqlearn.ATPGOptions{
+			Mode: seqlearn.ModeForbidden,
+			DB:   res.DB,
+			Ties: append(append([]seqlearn.Tie{}, res.CombTies...), res.SeqTies...),
+		},
+	})
+	if compacted.Detected != run.Detected {
+		t.Fatalf("compaction changed coverage: %d vs %d", compacted.Detected, run.Detected)
+	}
+	if len(compacted.Tests)+compacted.TestsCompacted != len(run.Tests) {
+		t.Fatalf("compaction accounting off: %d kept + %d dropped vs %d emitted",
+			len(compacted.Tests), compacted.TestsCompacted, len(run.Tests))
+	}
+
 	// Netlist round-trip through the public API.
 	var sb strings.Builder
 	if err := seqlearn.WriteBench(&sb, c); err != nil {
