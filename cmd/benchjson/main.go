@@ -1,18 +1,21 @@
-// Command benchjson runs the packed-vs-scalar fault-simulation benchmark
-// programmatically and records the result as JSON, so the repository's
-// BENCH_*.json perf trajectory is captured by a reproducible command
-// instead of hand-copied `go test -bench` output.
+// Command benchjson runs the repository's headline benchmarks
+// programmatically and records the results as JSON, so the BENCH_*.json
+// perf trajectory is captured by a reproducible command instead of
+// hand-copied `go test -bench` output.
 //
 // Usage:
 //
-//	benchjson                          # s5378, 24 frames -> BENCH_faultsim.json
-//	benchjson -circuit s1423 -out -    # smaller circuit, JSON to stdout
+//	benchjson                              # packed-vs-scalar fault sim -> BENCH_faultsim.json
+//	benchjson -circuit s1423 -out -        # smaller circuit, JSON to stdout
+//	benchjson -bench service               # cold-vs-warm daemon cache -> BENCH_service.json
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
 	"runtime"
 	"testing"
@@ -20,6 +23,8 @@ import (
 	"repro/internal/fault"
 	"repro/internal/gen"
 	"repro/internal/logic"
+	"repro/internal/server"
+	"repro/seqlearn"
 )
 
 // result is one benchmarked configuration.
@@ -28,14 +33,15 @@ type result struct {
 	NsPerOp         int64   `json:"ns_per_op"`
 	Iterations      int     `json:"iterations"`
 	SpeedupVsScalar float64 `json:"speedup_vs_scalar,omitempty"`
+	SpeedupVsCold   float64 `json:"speedup_vs_cold,omitempty"`
 }
 
-// report is the BENCH_faultsim.json schema.
+// report is the BENCH_*.json schema.
 type report struct {
 	Benchmark string   `json:"benchmark"`
 	Circuit   string   `json:"circuit"`
-	Faults    int      `json:"faults"`
-	Frames    int      `json:"frames"`
+	Faults    int      `json:"faults,omitempty"`
+	Frames    int      `json:"frames,omitempty"`
 	GoVersion string   `json:"go_version"`
 	GOOS      string   `json:"goos"`
 	GOARCH    string   `json:"goarch"`
@@ -45,9 +51,11 @@ type report struct {
 
 func main() {
 	var (
-		circuit = flag.String("circuit", "s5378", "suite circuit to benchmark")
-		frames  = flag.Int("frames", 24, "sequence length")
-		out     = flag.String("out", "BENCH_faultsim.json", "output path (- = stdout)")
+		benchName = flag.String("bench", "faultsim", "benchmark to record: faultsim or service")
+		circuit   = flag.String("circuit", "s5378", "suite circuit to benchmark")
+		frames    = flag.Int("frames", 24, "sequence length (faultsim)")
+		maxFaults = flag.Int("max-faults", 200, "ATPG fault-list bound (service)")
+		out       = flag.String("out", "", "output path (default BENCH_<bench>.json, - = stdout)")
 	)
 	flag.Parse()
 
@@ -55,10 +63,49 @@ func main() {
 		fmt.Fprintf(os.Stderr, "benchjson: unknown suite circuit %q\n", *circuit)
 		os.Exit(1)
 	}
-	c := gen.MustBuild(*circuit)
+	if *out == "" {
+		*out = "BENCH_" + *benchName + ".json"
+	}
+
+	var rep report
+	var summary string
+	switch *benchName {
+	case "faultsim":
+		rep, summary = runFaultSim(*circuit, *frames)
+	case "service":
+		rep, summary = runService(*circuit, *maxFaults)
+	default:
+		fmt.Fprintf(os.Stderr, "benchjson: unknown benchmark %q\n", *benchName)
+		os.Exit(1)
+	}
+	rep.GoVersion = runtime.Version()
+	rep.GOOS = runtime.GOOS
+	rep.GOARCH = runtime.GOARCH
+	rep.CPUs = runtime.GOMAXPROCS(0)
+
+	enc, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	enc = append(enc, '\n')
+	if *out == "-" {
+		os.Stdout.Write(enc)
+		return
+	}
+	if err := os.WriteFile(*out, enc, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s (%s)\n", *out, summary)
+}
+
+// runFaultSim records the packed-vs-scalar fault-simulation comparison.
+func runFaultSim(circuit string, frames int) (report, string) {
+	c := gen.MustBuild(circuit)
 	faults, _ := fault.Collapse(c)
 	r := logic.NewRand64(0xbe7c)
-	vectors := make([][]logic.V, *frames)
+	vectors := make([][]logic.V, frames)
 	for t := range vectors {
 		vec := make([]logic.V, len(c.PIs))
 		for i := range vec {
@@ -69,13 +116,9 @@ func main() {
 
 	rep := report{
 		Benchmark: "faultsim",
-		Circuit:   *circuit,
+		Circuit:   circuit,
 		Faults:    len(faults),
-		Frames:    *frames,
-		GoVersion: runtime.Version(),
-		GOOS:      runtime.GOOS,
-		GOARCH:    runtime.GOARCH,
-		CPUs:      runtime.GOMAXPROCS(0),
+		Frames:    frames,
 	}
 
 	measure := func(name string, detect func() int) result {
@@ -113,25 +156,101 @@ func main() {
 	for i := range rep.Results[1:] {
 		rep.Results[i+1].SpeedupVsScalar = float64(base) / float64(rep.Results[i+1].NsPerOp)
 	}
+	return rep, fmt.Sprintf("%s: scalar %s/op, packed %s/op, %.1fx",
+		circuit, fmtNs(rep.Results[0].NsPerOp), fmtNs(rep.Results[1].NsPerOp),
+		rep.Results[1].SpeedupVsScalar)
+}
 
-	enc, err := json.MarshalIndent(rep, "", "  ")
+// runService records the snapshot-cache economics of the daemon: the same
+// learn and learn+ATPG requests against a cold cache (the learning run
+// executes) and a warm one (the frozen snapshot is served from the LRU),
+// measured end to end through HTTP on a loopback listener.
+func runService(circuit string, maxFaults int) (report, string) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}
-	enc = append(enc, '\n')
-	if *out == "-" {
-		os.Stdout.Write(enc)
-		return
+	defer ln.Close()
+	srv := server.New(server.Config{})
+	go http.Serve(ln, srv)
+	cl := seqlearn.NewClient("http://" + ln.Addr().String())
+	c := seqlearn.Benchmark(circuit)
+
+	atpgParams := seqlearn.ServiceATPGParams{
+		Mode: "forbidden", Backtracks: 30, MaxFaults: maxFaults,
 	}
-	if err := os.WriteFile(*out, enc, 0o644); err != nil {
+	mustLearn := func(cl *seqlearn.Client, wantCache string) *seqlearn.ServiceLearnResult {
+		res, err := cl.Learn(c, seqlearn.ServiceLearnParams{})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		if res.Cache != wantCache {
+			fmt.Fprintf(os.Stderr, "benchjson: learn cache = %q, want %q\n", res.Cache, wantCache)
+			os.Exit(1)
+		}
+		return res
+	}
+	mustATPG := func(cl *seqlearn.Client, wantCache string) *seqlearn.ServiceATPGResult {
+		res, err := cl.GenerateTests(c, atpgParams)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		if res.Cache != wantCache {
+			fmt.Fprintf(os.Stderr, "benchjson: atpg cache = %q, want %q\n", res.Cache, wantCache)
+			os.Exit(1)
+		}
+		return res
+	}
+
+	// Cold learn: the first request pays for the learning run.
+	coldLearn := int64(mustLearn(cl, "miss").ElapsedMS * 1e6)
+
+	rep := report{Benchmark: "service", Circuit: circuit, Faults: maxFaults}
+	rep.Results = append(rep.Results,
+		result{Name: "cold-learn", NsPerOp: coldLearn, Iterations: 1})
+
+	// Warm learn: pure cache hits.
+	warmLearn := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			mustLearn(cl, "hit")
+		}
+	})
+	rep.Results = append(rep.Results, result{
+		Name: "warm-learn", NsPerOp: warmLearn.NsPerOp(), Iterations: warmLearn.N,
+		SpeedupVsCold: float64(coldLearn) / float64(warmLearn.NsPerOp()),
+	})
+
+	// Cold ATPG: a second daemon whose cache has never seen the circuit,
+	// so the request carries the learning run as well as the search.
+	ln2, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}
-	fmt.Printf("wrote %s (%s: scalar %s/op, packed %s/op, %.1fx)\n",
-		*out, *circuit,
-		fmtNs(rep.Results[0].NsPerOp), fmtNs(rep.Results[1].NsPerOp),
-		rep.Results[1].SpeedupVsScalar)
+	defer ln2.Close()
+	go http.Serve(ln2, server.New(server.Config{}))
+	coldATPG := int64(mustATPG(seqlearn.NewClient("http://"+ln2.Addr().String()), "miss").ElapsedMS * 1e6)
+	rep.Results = append(rep.Results,
+		result{Name: "cold-atpg", NsPerOp: coldATPG, Iterations: 1})
+
+	// Warm ATPG: the search still runs, only the learning is amortized.
+	warmATPG := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			mustATPG(cl, "hit")
+		}
+	})
+	rep.Results = append(rep.Results, result{
+		Name: "warm-atpg", NsPerOp: warmATPG.NsPerOp(), Iterations: warmATPG.N,
+		SpeedupVsCold: float64(coldATPG) / float64(warmATPG.NsPerOp()),
+	})
+
+	return rep, fmt.Sprintf("%s: learn %s cold / %s warm (%.0fx), atpg %s cold / %s warm (%.1fx)",
+		circuit,
+		fmtNs(rep.Results[0].NsPerOp), fmtNs(rep.Results[1].NsPerOp), rep.Results[1].SpeedupVsCold,
+		fmtNs(rep.Results[2].NsPerOp), fmtNs(rep.Results[3].NsPerOp), rep.Results[3].SpeedupVsCold)
 }
 
 func fmtNs(ns int64) string {

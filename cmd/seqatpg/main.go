@@ -8,6 +8,7 @@
 //	seqatpg -bench design.bench -mode known -max-faults 500
 //	seqatpg -circuit s5378 -workers 8   # sharded driver; counts identical to -workers 1
 //	seqatpg -circuit s1423 -compact     # reverse-order fault-sim test compaction
+//	seqatpg -circuit s1423 -remote http://127.0.0.1:8344   # via a seqlearnd daemon
 package main
 
 import (
@@ -21,6 +22,7 @@ import (
 	"repro/internal/gen"
 	"repro/internal/learn"
 	"repro/internal/netlist"
+	"repro/seqlearn"
 )
 
 func main() {
@@ -33,6 +35,7 @@ func main() {
 		maxWin    = flag.Int("max-window", 8, "largest time-frame window")
 		workers   = flag.Int("workers", 0, "parallel workers for learning, fault simulation and the PODEM driver (0 = one per core, 1 = serial; results identical)")
 		compact   = flag.Bool("compact", false, "drop redundant tests by reverse-order fault simulation after generation")
+		remote    = flag.String("remote", "", "run against a seqlearnd daemon at this base URL instead of in-process")
 	)
 	flag.IntVar(workers, "j", 0, "alias for -workers")
 	flag.Parse()
@@ -41,6 +44,13 @@ func main() {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "seqatpg:", err)
 		os.Exit(1)
+	}
+	if *remote != "" {
+		if err := runRemote(*remote, c, *mode, *limit, *maxFaults, *maxWin, *workers, *compact); err != nil {
+			fmt.Fprintln(os.Stderr, "seqatpg:", err)
+			os.Exit(1)
+		}
+		return
 	}
 	var m atpg.Mode
 	switch *mode {
@@ -56,9 +66,13 @@ func main() {
 	}
 
 	lr := learn.Learn(c, learn.Options{Parallelism: *workers})
-	var ties []learn.Tie
-	ties = append(ties, lr.CombTies...)
-	ties = append(ties, lr.SeqTies...)
+	// The no-learning baseline knows only what combinational learning can
+	// know (the convention of the Table 5 harness and the service); the
+	// learning modes get all ties.
+	ties := append([]learn.Tie{}, lr.CombTies...)
+	if m != atpg.ModeNoLearning {
+		ties = append(ties, lr.SeqTies...)
+	}
 
 	var windows []int
 	for w := 1; w <= *maxWin; w *= 2 {
@@ -90,6 +104,37 @@ func main() {
 		fmt.Fprintf(os.Stderr, "seqatpg: %d tests failed independent verification\n", res.VerifyFailures)
 		os.Exit(1)
 	}
+}
+
+// runRemote sends the circuit to a seqlearnd daemon, which resolves the
+// learned snapshot through its cache and runs the same ATPG driver; counts
+// are bit-identical to the in-process path with the same options.
+func runRemote(base string, c *netlist.Circuit, mode string, limit, maxFaults, maxWin, workers int, compact bool) error {
+	cl := seqlearn.NewClient(base)
+	res, err := cl.GenerateTests(c, seqlearn.ServiceATPGParams{
+		Learn:      seqlearn.ServiceLearnParams{Workers: workers},
+		Mode:       mode,
+		Backtracks: limit,
+		MaxFaults:  maxFaults,
+		MaxWindow:  maxWin,
+		Workers:    workers,
+		Compact:    compact,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s via %s: cache=%s mode=%s backtrack-limit=%d\n", c.Name, base, res.Cache, mode, limit)
+	fmt.Printf("faults=%d detected=%d untestable=%d aborted=%d\n",
+		res.Total, res.Detected, res.Untestable, res.Aborted)
+	fmt.Printf("coverage=%.2f%% test-coverage=%.2f%% tests=%d backtracks=%d served in %.1fms\n",
+		100*res.Coverage, 100*res.TestCoverage, res.Tests, res.Backtracks, res.ElapsedMS)
+	if compact {
+		fmt.Printf("compaction dropped %d redundant tests\n", res.TestsCompacted)
+	}
+	if res.VerifyFailures > 0 {
+		return fmt.Errorf("%d tests failed independent verification", res.VerifyFailures)
+	}
+	return nil
 }
 
 func load(circuit, benchFile string) (*netlist.Circuit, error) {

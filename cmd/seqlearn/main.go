@@ -7,6 +7,7 @@
 //	seqlearn -circuit s5378            # synthetic suite stand-in
 //	seqlearn -bench design.bench       # extended ISCAS-89 netlist
 //	seqlearn -circuit figure1 -dump    # dump every learned relation
+//	seqlearn -circuit s953 -remote http://127.0.0.1:8344   # via a seqlearnd daemon
 package main
 
 import (
@@ -19,6 +20,7 @@ import (
 	"repro/internal/gen"
 	"repro/internal/learn"
 	"repro/internal/netlist"
+	"repro/seqlearn"
 )
 
 func main() {
@@ -30,6 +32,7 @@ func main() {
 		skipComb   = flag.Bool("skip-comb", false, "skip the combinational learning pass")
 		maxFrames  = flag.Int("max-frames", 0, "simulation frame cap (default 50)")
 		workers    = flag.Int("workers", 0, "learning workers (0 = one per core, 1 = serial; results identical)")
+		remote     = flag.String("remote", "", "run against a seqlearnd daemon at this base URL instead of in-process")
 	)
 	flag.IntVar(workers, "j", 0, "alias for -workers")
 	flag.Parse()
@@ -38,6 +41,14 @@ func main() {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "seqlearn:", err)
 		os.Exit(1)
+	}
+
+	if *remote != "" {
+		if err := runRemote(*remote, c, *maxFrames, *singleOnly, *skipComb, *workers); err != nil {
+			fmt.Fprintln(os.Stderr, "seqlearn:", err)
+			os.Exit(1)
+		}
+		return
 	}
 
 	res := learn.Learn(c, learn.Options{
@@ -62,6 +73,27 @@ func main() {
 			fmt.Printf("tie %s = %s (frame %d)\n", c.NameOf(tie.Node), tie.Val, tie.Frame)
 		}
 	}
+}
+
+// runRemote sends the circuit to a seqlearnd daemon and prints the served
+// summary, including whether the daemon's snapshot cache already held it.
+func runRemote(base string, c *netlist.Circuit, maxFrames int, singleOnly, skipComb bool, workers int) error {
+	cl := seqlearn.NewClient(base)
+	res, err := cl.Learn(c, seqlearn.ServiceLearnParams{
+		MaxFrames:  maxFrames,
+		SingleOnly: singleOnly,
+		SkipComb:   skipComb,
+		Workers:    workers,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s via %s: cache=%s fingerprint=%s\n", c.Name, base, res.Cache, res.Fingerprint[:12])
+	fmt.Printf("sequential relations: FF-FF=%d Gate-FF=%d (total %d, cross-frame %d)\n",
+		res.FFFF, res.GateFF, res.Relations, res.CrossFrame)
+	fmt.Printf("tied gates: %d combinational, %d sequential\n", res.CombTies, res.SeqTies)
+	fmt.Printf("served in %.1fms\n", res.ElapsedMS)
+	return nil
 }
 
 func load(circuit, benchFile string) (*netlist.Circuit, error) {

@@ -1,0 +1,100 @@
+// Command seqlearnd serves the sequential-learning stack over HTTP: learn,
+// ATPG and fault-simulation requests against posted .bench netlists, all
+// resolving their implication snapshots through a content-addressed cache
+// (in-memory LRU + singleflight + optional on-disk persistence), so any
+// number of clients amortize one learning run per circuit.
+//
+// Usage:
+//
+//	seqlearnd                                  # serve on :8344, memory-only cache
+//	seqlearnd -addr 127.0.0.1:0 -addr-file a   # random port, written to file a
+//	seqlearnd -cache-dir /var/cache/seqlearn   # persist learned snapshots
+//	seqlearnd -dump-circuit figure2            # print a built-in netlist and exit
+//
+// Endpoints (see internal/server):
+//
+//	POST /v1/learn?[max_frames=|single_only=1|skip_comb=1|workers=]
+//	POST /v1/atpg?[mode=|backtracks=|max_faults=|max_window=|atpg_workers=|compact=1|include_tests=1]
+//	POST /v1/faultsim?[frames=|seed=|workers=]
+//	GET  /healthz
+//	GET  /v1/stats
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+
+	"repro/internal/bench"
+	"repro/internal/circuits"
+	"repro/internal/gen"
+	"repro/internal/server"
+	"repro/internal/store"
+)
+
+func main() {
+	var (
+		addr        = flag.String("addr", ":8344", "listen address (port 0 = random)")
+		addrFile    = flag.String("addr-file", "", "write the resolved listen address to this file (for scripts wrapping -addr :0)")
+		cacheDir    = flag.String("cache-dir", "", "persist learned snapshots under this directory (empty = memory only)")
+		cacheSize   = flag.Int("cache-entries", 64, "in-memory snapshot LRU capacity")
+		pool        = flag.Int("pool", server.DefaultPool(), "max compute requests in flight; excess requests queue")
+		maxBodyMB   = flag.Int64("max-body-mb", 64, "largest accepted netlist in MiB")
+		dumpCircuit = flag.String("dump-circuit", "", "print a built-in circuit (figure1, figure2 or a suite name) as .bench and exit")
+	)
+	flag.Parse()
+
+	if *dumpCircuit != "" {
+		if err := dump(*dumpCircuit); err != nil {
+			fmt.Fprintln(os.Stderr, "seqlearnd:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	srv := server.New(server.Config{
+		Store:         store.Options{MaxEntries: *cacheSize, Dir: *cacheDir},
+		MaxConcurrent: *pool,
+		MaxBodyBytes:  *maxBodyMB << 20,
+	})
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "seqlearnd:", err)
+		os.Exit(1)
+	}
+	resolved := ln.Addr().String()
+	if *addrFile != "" {
+		if err := os.WriteFile(*addrFile, []byte(resolved+"\n"), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "seqlearnd:", err)
+			os.Exit(1)
+		}
+	}
+	fmt.Printf("seqlearnd listening on %s (pool=%d, cache=%d entries", resolved, *pool, *cacheSize)
+	if *cacheDir != "" {
+		fmt.Printf(", dir=%s", *cacheDir)
+	}
+	fmt.Println(")")
+
+	if err := http.Serve(ln, srv); err != nil {
+		fmt.Fprintln(os.Stderr, "seqlearnd:", err)
+		os.Exit(1)
+	}
+}
+
+// dump prints a built-in circuit in the wire format, so shell scripts (and
+// the CI smoke job) can produce request bodies without writing Go.
+func dump(name string) error {
+	switch name {
+	case "figure1":
+		return bench.Write(os.Stdout, circuits.Figure1())
+	case "figure2":
+		return bench.Write(os.Stdout, circuits.Figure2())
+	}
+	if _, ok := gen.Lookup(name); !ok {
+		return fmt.Errorf("unknown circuit %q", name)
+	}
+	return bench.Write(os.Stdout, gen.MustBuild(name))
+}

@@ -1,0 +1,61 @@
+// Service walk-through: the "learn once, reuse everywhere" economics over
+// HTTP. An in-process seqlearnd daemon is mounted on a loopback listener
+// (production runs `seqlearnd` standalone; see README "Running the
+// service"), then a client posts the same netlist repeatedly: the first
+// request pays for the learning run, every later one — including the ATPG,
+// which resolves its implication snapshot through the same
+// content-addressed cache — is served from memory.
+package main
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+
+	"repro/internal/server"
+	"repro/seqlearn"
+)
+
+func main() {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "service:", err)
+		os.Exit(1)
+	}
+	go http.Serve(ln, server.New(server.Config{}))
+	base := "http://" + ln.Addr().String()
+	fmt.Printf("daemon on %s\n\n", base)
+
+	cl := seqlearn.NewClient(base)
+	c := seqlearn.Benchmark("s953")
+
+	for i := 1; i <= 2; i++ {
+		res, err := cl.Learn(c, seqlearn.ServiceLearnParams{})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "service:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("learn #%d: cache=%-4s relations=%d (FF-FF %d, Gate-FF %d) ties=%d+%d in %.1fms\n",
+			i, res.Cache, res.Relations, res.FFFF, res.GateFF,
+			res.CombTies, res.SeqTies, res.ElapsedMS)
+	}
+
+	at, err := cl.GenerateTests(c, seqlearn.ServiceATPGParams{
+		Mode: "forbidden", Backtracks: 30, MaxFaults: 200,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "service:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("\natpg: cache=%s faults=%d detected=%d untestable=%d aborted=%d tests=%d in %.1fms\n",
+		at.Cache, at.Total, at.Detected, at.Untestable, at.Aborted, at.Tests, at.ElapsedMS)
+
+	stats, err := cl.Stats()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "service:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("\ndaemon stats: learns=%d hits=%d misses=%d entries=%d\n",
+		stats.Cache.Learns, stats.Cache.Hits, stats.Cache.Misses, stats.Cache.Entries)
+}

@@ -1,0 +1,38 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/equiv"
+	"repro/internal/gen"
+)
+
+// TestRoundTripSuite writes and re-parses every embedded benchmark of the
+// evaluation suite and asserts full structural equivalence — every node,
+// pin inversion, clock annotation, set/reset net and port must survive the
+// Write/Parse round trip. The very large stand-ins (tens of thousands of
+// gates and up) are skipped to keep the test fast; they exercise the same
+// Write/Parse code paths.
+func TestRoundTripSuite(t *testing.T) {
+	for _, name := range gen.SuiteNames() {
+		e, _ := gen.Lookup(name)
+		if e.Gates > 10000 {
+			continue
+		}
+		t.Run(name, func(t *testing.T) {
+			c := gen.Build(e)
+			var sb strings.Builder
+			if err := Write(&sb, c); err != nil {
+				t.Fatal(err)
+			}
+			c2, err := Parse(c.Name, strings.NewReader(sb.String()))
+			if err != nil {
+				t.Fatalf("re-parse: %v", err)
+			}
+			if err := equiv.Structural(c, c2); err != nil {
+				t.Fatalf("round trip not structurally equivalent: %v", err)
+			}
+		})
+	}
+}

@@ -49,6 +49,15 @@ func (o *Options) defaults() {
 	}
 }
 
+// Normalized returns the options with unset fields folded to their
+// effective defaults: the form consumers that key caches on options
+// (internal/store) hash, so an explicit default and the zero value resolve
+// to the same artifact without duplicating the default literals elsewhere.
+func (o Options) Normalized() Options {
+	o.defaults()
+	return o
+}
+
 // Class is a verified equivalence class: every member equals the
 // representative (possibly complemented when Inv is set).
 type Class struct {

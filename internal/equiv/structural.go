@@ -1,0 +1,119 @@
+package equiv
+
+import (
+	"fmt"
+
+	"repro/internal/netlist"
+)
+
+// Structural compares two circuits node-for-node by name and reports the
+// first difference, or nil when they are structurally equivalent: the same
+// nodes (kind, gate operation), the same fanin pins with the same inversion
+// bubbles, the same sequential attributes (D input, clock domain and phase,
+// set/reset nets, extra ports) and the same primary outputs. It is the
+// whole-circuit counterpart to the per-gate equivalence classes this
+// package learns, used to validate lossless netlist transforms such as the
+// bench Write/Parse round trip.
+func Structural(a, b *netlist.Circuit) error {
+	if a.NumNodes() != b.NumNodes() {
+		return fmt.Errorf("node counts differ: %d vs %d", a.NumNodes(), b.NumNodes())
+	}
+	if len(a.POs) != len(b.POs) {
+		return fmt.Errorf("PO counts differ: %d vs %d", len(a.POs), len(b.POs))
+	}
+	for id := range a.Nodes {
+		na := &a.Nodes[id]
+		idB, ok := b.Lookup(na.Name)
+		if !ok {
+			return fmt.Errorf("node %q missing from %s", na.Name, b.Name)
+		}
+		nb := &b.Nodes[idB]
+		if na.Kind != nb.Kind {
+			return fmt.Errorf("node %q: kind %s vs %s", na.Name, na.Kind, nb.Kind)
+		}
+		if na.Kind == netlist.KindGate && na.Op != nb.Op {
+			return fmt.Errorf("gate %q: op %s vs %s", na.Name, na.Op, nb.Op)
+		}
+		if err := samePins(a, b, a.Fanin(netlist.NodeID(id)), b.Fanin(idB)); err != nil {
+			return fmt.Errorf("node %q: fanin %v", na.Name, err)
+		}
+		if (na.Seq == nil) != (nb.Seq == nil) {
+			return fmt.Errorf("node %q: sequential on one side only", na.Name)
+		}
+		if na.Seq != nil {
+			if err := sameSeq(a, b, na.Seq, nb.Seq); err != nil {
+				return fmt.Errorf("element %q: %v", na.Name, err)
+			}
+		}
+	}
+	for i, po := range a.POs {
+		if err := samePin(a, b, po.Pin, b.POs[i].Pin); err != nil {
+			return fmt.Errorf("PO %d (%s): %v", i, po.Name, err)
+		}
+	}
+	return nil
+}
+
+func samePin(a, b *netlist.Circuit, pa, pb netlist.Pin) error {
+	if a.NameOf(pa.Node) != b.NameOf(pb.Node) || pa.Inv != pb.Inv {
+		return fmt.Errorf("pin %s%s vs %s%s",
+			inv(pa.Inv), a.NameOf(pa.Node), inv(pb.Inv), b.NameOf(pb.Node))
+	}
+	return nil
+}
+
+func samePins(a, b *netlist.Circuit, pa, pb []netlist.Pin) error {
+	if len(pa) != len(pb) {
+		return fmt.Errorf("arity %d vs %d", len(pa), len(pb))
+	}
+	for i := range pa {
+		if err := samePin(a, b, pa[i], pb[i]); err != nil {
+			return fmt.Errorf("pin %d: %v", i, err)
+		}
+	}
+	return nil
+}
+
+func sameSeq(a, b *netlist.Circuit, sa, sb *netlist.SeqInfo) error {
+	if err := samePin(a, b, sa.D, sb.D); err != nil {
+		return fmt.Errorf("D input: %v", err)
+	}
+	if sa.Clock != sb.Clock {
+		return fmt.Errorf("clock %+v vs %+v", sa.Clock, sb.Clock)
+	}
+	if sa.HasSet() != sb.HasSet() {
+		return fmt.Errorf("set net on one side only")
+	}
+	if sa.HasSet() {
+		if err := samePin(a, b, sa.SetNet, sb.SetNet); err != nil {
+			return fmt.Errorf("set net: %v", err)
+		}
+	}
+	if sa.HasReset() != sb.HasReset() {
+		return fmt.Errorf("reset net on one side only")
+	}
+	if sa.HasReset() {
+		if err := samePin(a, b, sa.ResetNet, sb.ResetNet); err != nil {
+			return fmt.Errorf("reset net: %v", err)
+		}
+	}
+	if len(sa.Ports) != len(sb.Ports) {
+		return fmt.Errorf("port count %d vs %d", len(sa.Ports), len(sb.Ports))
+	}
+	for i := range sa.Ports {
+		if err := samePin(a, b, sa.Ports[i].Enable, sb.Ports[i].Enable); err != nil {
+			return fmt.Errorf("port %d enable: %v", i, err)
+		}
+		if err := samePin(a, b, sa.Ports[i].Data, sb.Ports[i].Data); err != nil {
+			return fmt.Errorf("port %d data: %v", i, err)
+		}
+	}
+	return nil
+}
+
+func inv(i bool) string {
+	if i {
+		return "!"
+	}
+	return ""
+}

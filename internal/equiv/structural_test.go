@@ -1,0 +1,82 @@
+package equiv
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/logic"
+	"repro/internal/netlist"
+)
+
+func buildPair(t *testing.T, mutate func(b *netlist.Builder)) (*netlist.Circuit, *netlist.Circuit) {
+	t.Helper()
+	mk := func(f func(b *netlist.Builder)) *netlist.Circuit {
+		b := netlist.NewBuilder("s")
+		b.PI("a")
+		b.PI("b")
+		b.Gate("g", logic.OpAnd, netlist.P("a"), netlist.N("b"))
+		b.DFF("q", netlist.P("g"), netlist.Clock{})
+		b.PO("o", netlist.P("q"))
+		if f != nil {
+			f(b)
+		}
+		c, err := b.Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return c
+	}
+	return mk(nil), mk(mutate)
+}
+
+func TestStructuralEqual(t *testing.T) {
+	a, b := buildPair(t, nil)
+	if err := Structural(a, b); err != nil {
+		t.Fatalf("identical circuits reported different: %v", err)
+	}
+}
+
+func TestStructuralDetectsDifferences(t *testing.T) {
+	a, extra := buildPair(t, func(b *netlist.Builder) {
+		b.Gate("x", logic.OpNot, netlist.P("a"))
+	})
+	if err := Structural(a, extra); err == nil || !strings.Contains(err.Error(), "node counts") {
+		t.Errorf("extra node: err = %v, want node-count mismatch", err)
+	}
+
+	// Same node count, one inversion bubble flipped.
+	mkFlipped := func() *netlist.Circuit {
+		b := netlist.NewBuilder("s")
+		b.PI("a")
+		b.PI("b")
+		b.Gate("g", logic.OpAnd, netlist.P("a"), netlist.P("b"))
+		b.DFF("q", netlist.P("g"), netlist.Clock{})
+		b.PO("o", netlist.P("q"))
+		c, err := b.Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return c
+	}
+	if err := Structural(a, mkFlipped()); err == nil {
+		t.Error("flipped inversion bubble not detected")
+	}
+
+	// Different clock annotation on the flip-flop.
+	mkClocked := func() *netlist.Circuit {
+		b := netlist.NewBuilder("s")
+		b.PI("a")
+		b.PI("b")
+		b.Gate("g", logic.OpAnd, netlist.P("a"), netlist.N("b"))
+		b.DFF("q", netlist.P("g"), netlist.Clock{Domain: 1})
+		b.PO("o", netlist.P("q"))
+		c, err := b.Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return c
+	}
+	if err := Structural(a, mkClocked()); err == nil {
+		t.Error("clock change not detected")
+	}
+}

@@ -55,6 +55,15 @@ var Suite = []Entry{
 	{Name: "indust3", FFs: 15689, Gates: 681595, Industrial: true, PaperFFFF: 8016, PaperGateFF: 186930, PaperCPU: 403.30},
 }
 
+// SuiteNames lists the suite circuit names in paper order.
+func SuiteNames() []string {
+	out := make([]string, len(Suite))
+	for i, e := range Suite {
+		out[i] = e.Name
+	}
+	return out
+}
+
 // Lookup returns the suite entry with the given name.
 func Lookup(name string) (Entry, bool) {
 	for _, e := range Suite {

@@ -70,6 +70,20 @@ func (db *DB) Deserialize(r io.Reader) error {
 	return sc.Err()
 }
 
+// LoadSnapshot reads relations written by DB.Serialize or
+// Snapshot.Serialize and returns them as a frozen snapshot for c in one
+// call — the cross-process consumer path: a daemon (or a later run)
+// rebuilds the immutable read view of a learned database from its
+// serialized form without exposing the mutable builder. Node names are
+// resolved against c, so any circuit with the same node names works.
+func LoadSnapshot(c *netlist.Circuit, r io.Reader) (*Snapshot, error) {
+	db := NewDB(c)
+	if err := db.Deserialize(r); err != nil {
+		return nil, err
+	}
+	return db.Freeze(), nil
+}
+
 func (db *DB) parseLit(name, val string) (Lit, error) {
 	n, ok := db.c.Lookup(name)
 	if !ok {

@@ -1,0 +1,74 @@
+// External test package: it drives real learning (package learn imports
+// imply, so these tests cannot live inside package imply) to check the
+// serialization round trip on a full-size learned database.
+package imply_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/imply"
+	"repro/internal/learn"
+)
+
+// TestSerializeLoadSnapshotRoundTrip learns s953, serializes the frozen
+// snapshot and reloads it through LoadSnapshot, asserting
+// relation-for-relation equality including the comb flag and history depth
+// carried by every relation.
+func TestSerializeLoadSnapshotRoundTrip(t *testing.T) {
+	c := gen.MustBuild("s953")
+	lr := learn.Learn(c, learn.Options{})
+	if lr.DB.Len() == 0 {
+		t.Fatal("no relations learned on s953")
+	}
+
+	var sb strings.Builder
+	if err := lr.DB.Serialize(&sb); err != nil {
+		t.Fatal(err)
+	}
+	snap, err := imply.LoadSnapshot(c, strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	want, got := lr.DB.Relations(), snap.Relations()
+	if len(want) != len(got) {
+		t.Fatalf("relation count changed: %d -> %d", len(want), len(got))
+	}
+	for i, r := range want {
+		if got[i] != r {
+			t.Fatalf("relation %d changed: %s -> %s",
+				i, lr.DB.FormatRelation(r), snap.FormatRelation(got[i]))
+		}
+		if lr.DB.IsCombinational(r.A, r.B, int(r.Dt)) != snap.IsCombinational(r.A, r.B, int(r.Dt)) {
+			t.Fatalf("relation %s lost its comb flag", lr.DB.FormatRelation(r))
+		}
+		if lr.DB.DepthOf(r.A, r.B, int(r.Dt)) != snap.DepthOf(r.A, r.B, int(r.Dt)) {
+			t.Fatalf("relation %s changed depth", lr.DB.FormatRelation(r))
+		}
+	}
+
+	// Canonical sorted relations serialize byte-identically.
+	var sb2 strings.Builder
+	if err := snap.Serialize(&sb2); err != nil {
+		t.Fatal(err)
+	}
+	if sb.String() != sb2.String() {
+		t.Fatal("re-serialized snapshot is not byte-identical")
+	}
+}
+
+// TestLoadSnapshotErrors: unknown node names and malformed lines must be
+// reported, not silently dropped.
+func TestLoadSnapshotErrors(t *testing.T) {
+	c := gen.MustBuild("s382")
+	for _, src := range []string{
+		"nosuchnode 1 alsomissing 0 0 false 0\n",
+		"garbage\n",
+	} {
+		if _, err := imply.LoadSnapshot(c, strings.NewReader(src)); err == nil {
+			t.Errorf("no error for %q", src)
+		}
+	}
+}

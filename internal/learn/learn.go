@@ -107,6 +107,18 @@ func (o *Options) defaults() {
 	o.Parallelism = sim.ClampWorkers(o.Parallelism)
 }
 
+// Normalized returns the options with unset fields folded to their
+// effective defaults (including the nested equivalence options): the form
+// consumers that key caches on options (internal/store) hash, so an
+// explicit default and the zero value resolve to the same artifact. Note
+// that Parallelism normalizes to a machine-dependent worker count; cache
+// keys must ignore it (results are bit-identical for every value).
+func (o Options) Normalized() Options {
+	o.defaults()
+	o.Equiv = o.Equiv.Normalized()
+	return o
+}
+
 // Tie is a learned tied gate.
 type Tie struct {
 	Node netlist.NodeID

@@ -1,0 +1,360 @@
+package server
+
+import (
+	"fmt"
+	"net/url"
+	"strconv"
+
+	"repro/internal/atpg"
+	"repro/internal/learn"
+	"repro/internal/logic"
+	"repro/internal/store"
+)
+
+// The wire protocol: every compute endpoint takes the circuit as an
+// extended .bench netlist in the POST body and its options as query
+// parameters, and answers JSON. The parameter structs below are shared by
+// the HTTP handlers (decoding) and seqlearn.Client (encoding), so the two
+// sides cannot drift.
+
+// LearnParams selects the learning configuration of a request. The zero
+// value is the paper's setup. Workers is the per-request parallelism of
+// the learning run itself, with the repo-wide convention (0 = one per
+// core, 1 = serial; results are bit-identical either way); the daemon
+// separately bounds how many requests compute concurrently.
+type LearnParams struct {
+	MaxFrames  int
+	SingleOnly bool
+	SkipComb   bool
+	Workers    int
+}
+
+// Options maps the request to learn.Options.
+func (p LearnParams) Options() learn.Options {
+	return learn.Options{
+		MaxFrames:      p.MaxFrames,
+		SingleNodeOnly: p.SingleOnly,
+		SkipComb:       p.SkipComb,
+		Parallelism:    p.Workers,
+	}
+}
+
+// Query renders the parameters for a request URL.
+func (p LearnParams) Query() url.Values {
+	q := url.Values{}
+	setInt(q, "max_frames", p.MaxFrames)
+	setBool(q, "single_only", p.SingleOnly)
+	setBool(q, "skip_comb", p.SkipComb)
+	setInt(q, "workers", p.Workers)
+	return q
+}
+
+func learnParamsFromQuery(q url.Values) (LearnParams, error) {
+	var p LearnParams
+	var err error
+	if p.MaxFrames, err = getInt(q, "max_frames"); err != nil {
+		return p, err
+	}
+	if p.SingleOnly, err = getBool(q, "single_only"); err != nil {
+		return p, err
+	}
+	if p.SkipComb, err = getBool(q, "skip_comb"); err != nil {
+		return p, err
+	}
+	p.Workers, err = getInt(q, "workers")
+	return p, err
+}
+
+// ATPGParams configures a test-generation request. Learning options ride
+// along because the ATPG resolves its implication snapshot through the
+// same cache.
+type ATPGParams struct {
+	Learn LearnParams
+
+	Mode         string // "nolearn", "forbidden" (default) or "known"
+	Backtracks   int    // backtrack limit per window (default 30)
+	MaxFaults    int    // truncate the fault list (0 = all)
+	MaxWindow    int    // largest time-frame window (default 8)
+	Workers      int    // PODEM/fault-sim shards (0 = one per core, 1 = serial)
+	Compact      bool   // reverse-order test-set compaction
+	FillSeed     uint64 // random-fill seed (default 0x7e57)
+	IncludeTests bool   // return the test vectors themselves
+}
+
+// atpgMode parses the wire mode name.
+func (p ATPGParams) atpgMode() (atpg.Mode, error) {
+	switch p.Mode {
+	case "nolearn":
+		return atpg.ModeNoLearning, nil
+	case "", "forbidden":
+		return atpg.ModeForbidden, nil
+	case "known":
+		return atpg.ModeKnown, nil
+	}
+	return 0, fmt.Errorf("unknown mode %q", p.Mode)
+}
+
+// RunOptions maps the request onto a cached artifact: the one
+// place the service's ATPG configuration is assembled, shared by the
+// daemon and by tests asserting served results match direct in-process
+// runs. ModeNoLearning uses combinational ties only, mirroring the
+// paper's baseline; the learned modes use all ties.
+func (p ATPGParams) RunOptions(art *store.Artifact) (atpg.RunOptions, error) {
+	mode, err := p.atpgMode()
+	if err != nil {
+		return atpg.RunOptions{}, err
+	}
+	maxWin := p.MaxWindow
+	if maxWin <= 0 {
+		maxWin = 8
+	}
+	var windows []int
+	for w := 1; w <= maxWin; w *= 2 {
+		windows = append(windows, w)
+	}
+	ties := art.Ties()
+	if mode == atpg.ModeNoLearning {
+		ties = art.CombTies
+	}
+	fillSeed := p.FillSeed
+	if fillSeed == 0 {
+		fillSeed = 0x7e57
+	}
+	return atpg.RunOptions{
+		MaxFaults:    p.MaxFaults,
+		Parallelism:  p.Workers,
+		CompactTests: p.Compact,
+		ATPG: atpg.Options{
+			BacktrackLimit: p.Backtracks,
+			Windows:        windows,
+			Mode:           mode,
+			DB:             art.DB,
+			Ties:           ties,
+			FillSeed:       fillSeed,
+		},
+	}, nil
+}
+
+// Query renders the parameters for a request URL.
+func (p ATPGParams) Query() url.Values {
+	q := p.Learn.Query()
+	if p.Mode != "" {
+		q.Set("mode", p.Mode)
+	}
+	setInt(q, "backtracks", p.Backtracks)
+	setInt(q, "max_faults", p.MaxFaults)
+	setInt(q, "max_window", p.MaxWindow)
+	setInt(q, "atpg_workers", p.Workers)
+	setBool(q, "compact", p.Compact)
+	if p.FillSeed != 0 {
+		q.Set("fill_seed", strconv.FormatUint(p.FillSeed, 10))
+	}
+	setBool(q, "include_tests", p.IncludeTests)
+	return q
+}
+
+func atpgParamsFromQuery(q url.Values) (ATPGParams, error) {
+	var p ATPGParams
+	var err error
+	if p.Learn, err = learnParamsFromQuery(q); err != nil {
+		return p, err
+	}
+	p.Mode = q.Get("mode")
+	if _, err = p.atpgMode(); err != nil {
+		return p, err
+	}
+	if p.Backtracks, err = getInt(q, "backtracks"); err != nil {
+		return p, err
+	}
+	if p.MaxFaults, err = getInt(q, "max_faults"); err != nil {
+		return p, err
+	}
+	if p.MaxWindow, err = getInt(q, "max_window"); err != nil {
+		return p, err
+	}
+	if p.Workers, err = getInt(q, "atpg_workers"); err != nil {
+		return p, err
+	}
+	if p.Compact, err = getBool(q, "compact"); err != nil {
+		return p, err
+	}
+	if p.FillSeed, err = getUint(q, "fill_seed"); err != nil {
+		return p, err
+	}
+	p.IncludeTests, err = getBool(q, "include_tests")
+	return p, err
+}
+
+// FaultSimParams configures a fault-simulation request: the collapsed
+// fault universe of the posted circuit is simulated against a
+// deterministic random PI sequence derived from Seed, so repeated requests
+// (and requests to different daemons) measure the same workload.
+type FaultSimParams struct {
+	Frames  int    // sequence length (default 24)
+	Seed    uint64 // PI sequence seed (default 0xbe7c)
+	Workers int    // fault-sim shards (0 = one per core, 1 = serial)
+}
+
+// Query renders the parameters for a request URL.
+func (p FaultSimParams) Query() url.Values {
+	q := url.Values{}
+	setInt(q, "frames", p.Frames)
+	if p.Seed != 0 {
+		q.Set("seed", strconv.FormatUint(p.Seed, 10))
+	}
+	setInt(q, "workers", p.Workers)
+	return q
+}
+
+func faultSimParamsFromQuery(q url.Values) (FaultSimParams, error) {
+	var p FaultSimParams
+	var err error
+	if p.Frames, err = getInt(q, "frames"); err != nil {
+		return p, err
+	}
+	if p.Seed, err = getUint(q, "seed"); err != nil {
+		return p, err
+	}
+	p.Workers, err = getInt(q, "workers")
+	return p, err
+}
+
+// LearnResponse is the JSON answer of POST /v1/learn.
+type LearnResponse struct {
+	Circuit     string `json:"circuit"`
+	Fingerprint string `json:"fingerprint"`
+	// Cache reports how the artifact was obtained: "hit" (memory),
+	// "coalesced" (waited on a concurrent identical request), "disk" or
+	// "miss" (a learning run executed).
+	Cache        string  `json:"cache"`
+	Relations    int     `json:"relations"`
+	FFFF         int     `json:"ffff"`
+	GateFF       int     `json:"gate_ff"`
+	CrossFrame   int     `json:"cross_frame"`
+	CombTies     int     `json:"comb_ties"`
+	SeqTies      int     `json:"seq_ties"`
+	EquivClasses int     `json:"equiv_classes"`
+	ElapsedMS    float64 `json:"elapsed_ms"`
+}
+
+// ATPGResponse is the JSON answer of POST /v1/atpg.
+type ATPGResponse struct {
+	Circuit     string `json:"circuit"`
+	Fingerprint string `json:"fingerprint"`
+	Cache       string `json:"cache"`
+
+	Total      int `json:"total"`
+	Detected   int `json:"detected"`
+	Untestable int `json:"untestable"`
+	Aborted    int `json:"aborted"`
+	Backtracks int `json:"backtracks"`
+
+	Coverage     float64 `json:"coverage"`
+	TestCoverage float64 `json:"test_coverage"`
+
+	Tests          int `json:"tests"`
+	TestsCompacted int `json:"tests_compacted"`
+	VerifyFailures int `json:"verify_failures"`
+
+	// TestVectors is present with include_tests=1: one entry per emitted
+	// test, each a frame-by-frame string of PI values ("01X..." in
+	// declaration order) as produced by FormatTest.
+	TestVectors [][]string `json:"test_vectors,omitempty"`
+
+	ElapsedMS float64 `json:"elapsed_ms"`
+}
+
+// FaultSimResponse is the JSON answer of POST /v1/faultsim.
+type FaultSimResponse struct {
+	Circuit   string  `json:"circuit"`
+	Faults    int     `json:"faults"`
+	Detected  int     `json:"detected"`
+	Frames    int     `json:"frames"`
+	Coverage  float64 `json:"coverage"`
+	ElapsedMS float64 `json:"elapsed_ms"`
+}
+
+// StatsResponse is the JSON answer of GET /v1/stats.
+type StatsResponse struct {
+	UptimeMS float64     `json:"uptime_ms"`
+	Cache    store.Stats `json:"cache"`
+	// InFlight counts compute requests currently holding a worker-pool
+	// slot; Queued counts requests waiting for one.
+	InFlight int64            `json:"in_flight"`
+	Queued   int64            `json:"queued"`
+	Served   map[string]int64 `json:"served"`
+}
+
+// HealthResponse is the JSON answer of GET /healthz.
+type HealthResponse struct {
+	Status   string  `json:"status"`
+	UptimeMS float64 `json:"uptime_ms"`
+}
+
+// ErrorResponse is the JSON body of every non-2xx answer.
+type ErrorResponse struct {
+	Error string `json:"error"`
+}
+
+// FormatTest renders one generated test sequence as frame strings, one
+// character per primary input in declaration order.
+func FormatTest(test [][]logic.V) []string {
+	out := make([]string, len(test))
+	for t, vec := range test {
+		b := make([]byte, len(vec))
+		for i, v := range vec {
+			b[i] = v.String()[0]
+		}
+		out[t] = string(b)
+	}
+	return out
+}
+
+// Query helpers: integers and bools with "absent = zero value" semantics,
+// rejecting malformed input instead of defaulting it away.
+
+func setInt(q url.Values, key string, v int) {
+	if v != 0 {
+		q.Set(key, strconv.Itoa(v))
+	}
+}
+
+func setBool(q url.Values, key string, v bool) {
+	if v {
+		q.Set(key, "1")
+	}
+}
+
+func getInt(q url.Values, key string) (int, error) {
+	s := q.Get(key)
+	if s == "" {
+		return 0, nil
+	}
+	v, err := strconv.Atoi(s)
+	if err != nil {
+		return 0, fmt.Errorf("bad %s %q", key, s)
+	}
+	return v, nil
+}
+
+func getUint(q url.Values, key string) (uint64, error) {
+	s := q.Get(key)
+	if s == "" {
+		return 0, nil
+	}
+	v, err := strconv.ParseUint(s, 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad %s %q", key, s)
+	}
+	return v, nil
+}
+
+func getBool(q url.Values, key string) (bool, error) {
+	switch q.Get(key) {
+	case "", "0", "false":
+		return false, nil
+	case "1", "true":
+		return true, nil
+	}
+	return false, fmt.Errorf("bad %s %q", key, q.Get(key))
+}

@@ -1,0 +1,341 @@
+// Package server exposes the learn/ATPG/fault-sim stack as an HTTP/JSON
+// service backed by the content-addressed snapshot store: the paper's
+// "learn once, amortize across every query" economics, extended across
+// processes. Circuits arrive as extended .bench netlists in the request
+// body; learned implication snapshots are resolved through store.Store
+// (LRU + singleflight + optional disk), so repeated and concurrent
+// requests for the same netlist pay for one learning run; compute requests
+// run on a bounded worker pool wired to the engines' existing parallelism
+// knobs.
+//
+// Endpoints:
+//
+//	POST /v1/learn     learn (or fetch cached) implications for a netlist
+//	POST /v1/atpg      generate tests, resolving the snapshot via the cache
+//	POST /v1/faultsim  fault-simulate the collapsed universe on a seeded sequence
+//	GET  /healthz      liveness
+//	GET  /v1/stats     cache and pool counters
+//
+// cmd/seqlearnd hosts the server; seqlearn.Client is the in-repo consumer.
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"runtime"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/atpg"
+	"repro/internal/bench"
+	"repro/internal/fault"
+	"repro/internal/logic"
+	"repro/internal/netlist"
+	"repro/internal/store"
+)
+
+// Config configures a Server. The zero value serves with a
+// two-request compute pool and a memory-only cache.
+type Config struct {
+	// Store configures the snapshot cache.
+	Store store.Options
+
+	// MaxConcurrent bounds how many compute requests (learn/atpg/faultsim)
+	// execute at once (default 2); excess requests queue until a slot
+	// frees or their client gives up. Each request may itself shard over
+	// many cores via its workers parameter.
+	MaxConcurrent int
+
+	// MaxBodyBytes caps the accepted netlist size (default 64 MiB — the
+	// largest suite stand-in serializes well under that).
+	MaxBodyBytes int64
+}
+
+func (c *Config) defaults() {
+	if c.MaxConcurrent <= 0 {
+		c.MaxConcurrent = 2
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 64 << 20
+	}
+}
+
+// Server is the HTTP handler. Create one with New; it is safe for
+// concurrent use by the net/http machinery.
+type Server struct {
+	cfg   Config
+	store *store.Store
+	sem   chan struct{}
+	mux   *http.ServeMux
+	start time.Time
+
+	inFlight atomic.Int64
+	queued   atomic.Int64
+	served   map[string]*atomic.Int64
+}
+
+// New returns a server ready to be attached to an http.Server.
+func New(cfg Config) *Server {
+	cfg.defaults()
+	s := &Server{
+		cfg:   cfg,
+		store: store.New(cfg.Store),
+		sem:   make(chan struct{}, cfg.MaxConcurrent),
+		mux:   http.NewServeMux(),
+		start: time.Now(),
+		served: map[string]*atomic.Int64{
+			"learn":    new(atomic.Int64),
+			"atpg":     new(atomic.Int64),
+			"faultsim": new(atomic.Int64),
+		},
+	}
+	s.mux.HandleFunc("POST /v1/learn", s.handleLearn)
+	s.mux.HandleFunc("POST /v1/atpg", s.handleATPG)
+	s.mux.HandleFunc("POST /v1/faultsim", s.handleFaultSim)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// Store exposes the underlying cache (stats inspection in tests and the
+// daemon's shutdown report).
+func (s *Server) Store() *store.Store { return s.store }
+
+// acquire blocks until a compute slot is free or the request is abandoned.
+// It returns a release func, or an error after writing the 503.
+func (s *Server) acquire(w http.ResponseWriter, r *http.Request) (func(), bool) {
+	s.queued.Add(1)
+	defer s.queued.Add(-1)
+	select {
+	case s.sem <- struct{}{}:
+		s.inFlight.Add(1)
+		return func() {
+			s.inFlight.Add(-1)
+			<-s.sem
+		}, true
+	case <-r.Context().Done():
+		s.writeError(w, http.StatusServiceUnavailable, fmt.Errorf("request abandoned while queued"))
+		return nil, false
+	}
+}
+
+// readCircuit parses the posted .bench netlist. The display name comes
+// from the optional ?name= parameter and never affects caching (the
+// fingerprint strips it).
+func (s *Server) readCircuit(w http.ResponseWriter, r *http.Request) (*netlist.Circuit, bool) {
+	name := r.URL.Query().Get("name")
+	if name == "" {
+		name = "netlist"
+	}
+	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	c, err := bench.Parse(name, body)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, err)
+		return nil, false
+	}
+	return c, true
+}
+
+func (s *Server) handleLearn(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	params, err := learnParamsFromQuery(r.URL.Query())
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	c, ok := s.readCircuit(w, r)
+	if !ok {
+		return
+	}
+	release, ok := s.acquire(w, r)
+	if !ok {
+		return
+	}
+	defer release()
+
+	art, src, err := s.store.Learn(c, params.Options())
+	if err != nil {
+		s.writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	s.served["learn"].Add(1)
+	ffff, gateFF, _ := art.DB.Counts(true)
+	s.writeJSON(w, LearnResponse{
+		Circuit:      c.Name,
+		Fingerprint:  art.Fingerprint,
+		Cache:        src.String(),
+		Relations:    art.DB.Len(),
+		FFFF:         ffff,
+		GateFF:       gateFF,
+		CrossFrame:   art.DB.CrossFrame(),
+		CombTies:     len(art.CombTies),
+		SeqTies:      len(art.SeqTies),
+		EquivClasses: art.EquivClasses,
+		ElapsedMS:    ms(time.Since(start)),
+	})
+}
+
+func (s *Server) handleATPG(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	params, err := atpgParamsFromQuery(r.URL.Query())
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	c, ok := s.readCircuit(w, r)
+	if !ok {
+		return
+	}
+	release, ok := s.acquire(w, r)
+	if !ok {
+		return
+	}
+	defer release()
+
+	art, src, err := s.store.Learn(c, params.Learn.Options())
+	if err != nil {
+		s.writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	opt, err := params.RunOptions(art)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	// Run against the artifact's canonical circuit instance: the snapshot's
+	// node ids refer to it, and on cache hits it replaces this request's
+	// structurally identical parse.
+	res := atpg.Run(art.Circuit, opt)
+	s.served["atpg"].Add(1)
+	resp := ATPGResponse{
+		Circuit:        c.Name,
+		Fingerprint:    art.Fingerprint,
+		Cache:          src.String(),
+		Total:          res.Total,
+		Detected:       res.Detected,
+		Untestable:     res.Untestable,
+		Aborted:        res.Aborted,
+		Backtracks:     res.Backtracks,
+		Coverage:       res.Coverage(),
+		TestCoverage:   res.TestCoverage(),
+		Tests:          len(res.Tests),
+		TestsCompacted: res.TestsCompacted,
+		VerifyFailures: res.VerifyFailures,
+		ElapsedMS:      ms(time.Since(start)),
+	}
+	if params.IncludeTests {
+		resp.TestVectors = make([][]string, len(res.Tests))
+		for i, test := range res.Tests {
+			resp.TestVectors[i] = FormatTest(test)
+		}
+	}
+	s.writeJSON(w, resp)
+}
+
+func (s *Server) handleFaultSim(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	params, err := faultSimParamsFromQuery(r.URL.Query())
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	c, ok := s.readCircuit(w, r)
+	if !ok {
+		return
+	}
+	release, ok := s.acquire(w, r)
+	if !ok {
+		return
+	}
+	defer release()
+
+	frames := params.Frames
+	if frames <= 0 {
+		frames = 24
+	}
+	seed := params.Seed
+	if seed == 0 {
+		seed = 0xbe7c
+	}
+	faults, _ := fault.Collapse(c)
+	rnd := logic.NewRand64(seed)
+	vectors := make([][]logic.V, frames)
+	for t := range vectors {
+		vec := make([]logic.V, len(c.PIs))
+		for i := range vec {
+			vec[i] = logic.FromBool(rnd.Bool())
+		}
+		vectors[t] = vec
+	}
+	ps := fault.NewParallelSim(c, params.Workers)
+	ps.LoadSequence(vectors, nil)
+	detected := 0
+	for _, d := range ps.Detect(faults) {
+		if d.Detected {
+			detected++
+		}
+	}
+	s.served["faultsim"].Add(1)
+	coverage := 0.0
+	if len(faults) > 0 {
+		coverage = float64(detected) / float64(len(faults))
+	}
+	s.writeJSON(w, FaultSimResponse{
+		Circuit:   c.Name,
+		Faults:    len(faults),
+		Detected:  detected,
+		Frames:    frames,
+		Coverage:  coverage,
+		ElapsedMS: ms(time.Since(start)),
+	})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	s.writeJSON(w, HealthResponse{Status: "ok", UptimeMS: ms(time.Since(s.start))})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	served := make(map[string]int64, len(s.served))
+	for k, v := range s.served {
+		served[k] = v.Load()
+	}
+	s.writeJSON(w, StatsResponse{
+		UptimeMS: ms(time.Since(s.start)),
+		Cache:    s.store.Stats(),
+		InFlight: s.inFlight.Load(),
+		Queued:   s.queued.Load(),
+		Served:   served,
+	})
+}
+
+func (s *Server) writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	// An encode error here means the client went away mid-response; the
+	// status line is already written, so there is nothing left to report.
+	_ = enc.Encode(v)
+}
+
+func (s *Server) writeError(w http.ResponseWriter, code int, err error) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(ErrorResponse{Error: err.Error()})
+}
+
+func ms(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+
+// DefaultPool is the suggested MaxConcurrent for a machine-wide daemon:
+// half the cores, at least 2, so two heavy requests overlap while each
+// still shards widely.
+func DefaultPool() int {
+	n := runtime.GOMAXPROCS(0) / 2
+	if n < 2 {
+		n = 2
+	}
+	return n
+}

@@ -1,0 +1,287 @@
+package server
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/atpg"
+	"repro/internal/bench"
+	"repro/internal/circuits"
+	"repro/internal/gen"
+	"repro/internal/netlist"
+	"repro/internal/store"
+)
+
+func benchText(t *testing.T, c *netlist.Circuit) string {
+	t.Helper()
+	var sb strings.Builder
+	if err := bench.Write(&sb, c); err != nil {
+		t.Fatal(err)
+	}
+	return sb.String()
+}
+
+func post[T any](t *testing.T, ts *httptest.Server, path string, q url.Values, body string) T {
+	t.Helper()
+	u := ts.URL + path
+	if len(q) > 0 {
+		u += "?" + q.Encode()
+	}
+	resp, err := http.Post(u, "text/plain", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("POST %s: status %d: %s", path, resp.StatusCode, data)
+	}
+	var out T
+	if err := json.Unmarshal(data, &out); err != nil {
+		t.Fatalf("POST %s: bad JSON: %v\n%s", path, err, data)
+	}
+	return out
+}
+
+func get[T any](t *testing.T, ts *httptest.Server, path string) T {
+	t.Helper()
+	resp, err := http.Get(ts.URL + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out T
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatalf("GET %s: bad JSON: %v", path, err)
+	}
+	return out
+}
+
+func TestLearnEndpointCacheFlow(t *testing.T) {
+	ts := httptest.NewServer(New(Config{}))
+	defer ts.Close()
+	body := benchText(t, circuits.Figure2())
+
+	first := post[LearnResponse](t, ts, "/v1/learn", nil, body)
+	if first.Cache != "miss" {
+		t.Fatalf("first learn cache = %q, want miss", first.Cache)
+	}
+	if first.Relations == 0 || first.Fingerprint == "" {
+		t.Fatalf("empty learn response: %+v", first)
+	}
+
+	second := post[LearnResponse](t, ts, "/v1/learn", nil, body)
+	if second.Cache != "hit" {
+		t.Fatalf("second learn cache = %q, want hit", second.Cache)
+	}
+	if second.Relations != first.Relations || second.Fingerprint != first.Fingerprint ||
+		second.FFFF != first.FFFF || second.GateFF != first.GateFF {
+		t.Fatalf("cache hit changed the answer: %+v vs %+v", first, second)
+	}
+
+	// The display name must not fragment the cache.
+	renamed := post[LearnResponse](t, ts, "/v1/learn", url.Values{"name": {"other"}}, body)
+	if renamed.Cache != "hit" || renamed.Circuit != "other" {
+		t.Fatalf("renamed request: %+v", renamed)
+	}
+
+	health := get[HealthResponse](t, ts, "/healthz")
+	if health.Status != "ok" {
+		t.Fatalf("health = %+v", health)
+	}
+	stats := get[StatsResponse](t, ts, "/v1/stats")
+	if stats.Cache.Learns != 1 || stats.Served["learn"] != 3 {
+		t.Fatalf("stats = %+v", stats)
+	}
+}
+
+func TestATPGEndpointMatchesDirect(t *testing.T) {
+	ts := httptest.NewServer(New(Config{}))
+	defer ts.Close()
+	c := gen.MustBuild("s953")
+	params := ATPGParams{
+		Mode:         "forbidden",
+		Backtracks:   30,
+		MaxFaults:    120,
+		Workers:      1,
+		IncludeTests: true,
+	}
+	got := post[ATPGResponse](t, ts, "/v1/atpg", params.Query(), benchText(t, c))
+
+	// Direct in-process run with the same option mapping.
+	st := store.New(store.Options{})
+	art, _, err := st.Learn(c, params.Learn.Options())
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt, err := params.RunOptions(art)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := atpg.Run(c, opt)
+
+	if got.Total != want.Total || got.Detected != want.Detected ||
+		got.Untestable != want.Untestable || got.Aborted != want.Aborted ||
+		got.Backtracks != want.Backtracks || got.Tests != len(want.Tests) {
+		t.Fatalf("served run differs from direct run:\nserved %+v\ndirect %+v", got, want)
+	}
+	for i, test := range want.Tests {
+		if !reflect.DeepEqual(got.TestVectors[i], FormatTest(test)) {
+			t.Fatalf("test %d differs: %v vs %v", i, got.TestVectors[i], FormatTest(test))
+		}
+	}
+	if got.VerifyFailures != 0 {
+		t.Fatalf("verify failures: %d", got.VerifyFailures)
+	}
+}
+
+// TestConcurrentRequestsSingleLearn is the store-correctness-under-load
+// gate (run with -race in CI): 32 concurrent ATPG requests for the same
+// circuit must trigger exactly one learning run, and every served result
+// must be bit-identical to a direct in-process atpg.Run with the same
+// options.
+func TestConcurrentRequestsSingleLearn(t *testing.T) {
+	const requests = 32
+	srv := New(Config{MaxConcurrent: 4})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	c := gen.MustBuild("s953")
+	body := benchText(t, c)
+	params := ATPGParams{
+		Mode:         "forbidden",
+		Backtracks:   30,
+		MaxFaults:    60,
+		Workers:      1,
+		IncludeTests: true,
+	}
+
+	// The reference: a direct run sharing no state with the daemon.
+	art, _, err := store.New(store.Options{}).Learn(gen.MustBuild("s953"), params.Learn.Options())
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt, err := params.RunOptions(art)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := atpg.Run(art.Circuit, opt)
+	wantVectors := make([][]string, len(want.Tests))
+	for i, test := range want.Tests {
+		wantVectors[i] = FormatTest(test)
+	}
+
+	results := make([]ATPGResponse, requests)
+	var wg sync.WaitGroup
+	wg.Add(requests)
+	for i := 0; i < requests; i++ {
+		go func(i int) {
+			defer wg.Done()
+			results[i] = post[ATPGResponse](t, ts, "/v1/atpg", params.Query(), body)
+		}(i)
+	}
+	wg.Wait()
+
+	if learns := srv.Store().Stats().Learns; learns != 1 {
+		t.Fatalf("learning runs = %d, want exactly 1 (stats %+v)", learns, srv.Store().Stats())
+	}
+	for i, got := range results {
+		if got.Total != want.Total || got.Detected != want.Detected ||
+			got.Untestable != want.Untestable || got.Aborted != want.Aborted ||
+			got.Backtracks != want.Backtracks || got.Tests != len(want.Tests) {
+			t.Fatalf("response %d differs from direct run:\nserved %+v\ndirect total=%d detected=%d untestable=%d aborted=%d backtracks=%d tests=%d",
+				i, got, want.Total, want.Detected, want.Untestable, want.Aborted, want.Backtracks, len(want.Tests))
+		}
+		if !reflect.DeepEqual(got.TestVectors, wantVectors) {
+			t.Fatalf("response %d test vectors differ", i)
+		}
+		if got.VerifyFailures != 0 {
+			t.Fatalf("response %d: verify failures", i)
+		}
+	}
+}
+
+func TestFaultSimEndpointMatchesDirect(t *testing.T) {
+	ts := httptest.NewServer(New(Config{}))
+	defer ts.Close()
+	c := circuits.Figure2()
+	resp := post[FaultSimResponse](t, ts, "/v1/faultsim",
+		FaultSimParams{Frames: 16, Seed: 42, Workers: 1}.Query(), benchText(t, c))
+	if resp.Frames != 16 || resp.Faults == 0 {
+		t.Fatalf("faultsim response: %+v", resp)
+	}
+	// Determinism: same seed, same answer.
+	again := post[FaultSimResponse](t, ts, "/v1/faultsim",
+		FaultSimParams{Frames: 16, Seed: 42, Workers: 1}.Query(), benchText(t, c))
+	if resp.Detected != again.Detected || resp.Coverage != again.Coverage {
+		t.Fatalf("faultsim not deterministic: %+v vs %+v", resp, again)
+	}
+	other := post[FaultSimResponse](t, ts, "/v1/faultsim",
+		FaultSimParams{Frames: 16, Seed: 43, Workers: 1}.Query(), benchText(t, c))
+	if other.Faults != resp.Faults {
+		t.Fatalf("fault universe changed with the seed: %+v", other)
+	}
+}
+
+func TestBadRequests(t *testing.T) {
+	ts := httptest.NewServer(New(Config{}))
+	defer ts.Close()
+	body := benchText(t, circuits.Figure2())
+
+	for _, tc := range []struct {
+		name, method, path string
+		body               string
+		wantCode           int
+	}{
+		{"bad bench", "POST", "/v1/learn", "WIBBLE(", http.StatusBadRequest},
+		{"bad mode", "POST", "/v1/atpg?mode=psychic", body, http.StatusBadRequest},
+		{"bad int", "POST", "/v1/learn?max_frames=many", body, http.StatusBadRequest},
+		{"bad bool", "POST", "/v1/atpg?compact=maybe", body, http.StatusBadRequest},
+		{"wrong method", "GET", "/v1/learn", "", http.StatusMethodNotAllowed},
+		{"unknown path", "POST", "/v1/psychic", body, http.StatusNotFound},
+	} {
+		req, err := http.NewRequest(tc.method, ts.URL+tc.path, strings.NewReader(tc.body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != tc.wantCode {
+			t.Errorf("%s: status %d, want %d", tc.name, resp.StatusCode, tc.wantCode)
+		}
+	}
+}
+
+// TestLearnParamsAffectResult: service requests with different learning
+// options must resolve to different artifacts.
+func TestLearnParamsAffectResult(t *testing.T) {
+	ts := httptest.NewServer(New(Config{}))
+	defer ts.Close()
+	body := benchText(t, circuits.Figure2())
+
+	full := post[LearnResponse](t, ts, "/v1/learn", LearnParams{}.Query(), body)
+	single := post[LearnResponse](t, ts, "/v1/learn", LearnParams{SingleOnly: true}.Query(), body)
+	if single.Cache != "miss" {
+		t.Fatalf("distinct options shared an artifact: %+v", single)
+	}
+	if full.Fingerprint == single.Fingerprint {
+		t.Fatal("distinct options share a fingerprint")
+	}
+	if full.Relations <= single.Relations {
+		t.Fatalf("multiple-node learning added nothing: full=%d single=%d",
+			full.Relations, single.Relations)
+	}
+}

@@ -1,0 +1,156 @@
+package store
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+
+	"repro/internal/imply"
+	"repro/internal/learn"
+	"repro/internal/logic"
+	"repro/internal/netlist"
+)
+
+// On-disk layout: artifacts live under Options.Dir, sharded by the first
+// two fingerprint hex digits to keep directories small at scale:
+//
+//	<dir>/<fp[:2]>/<fp>.imply   relations, in the imply serialization format
+//	<dir>/<fp[:2]>/<fp>.ties    one "name value frame" line per tied gate
+//
+// Both files are written via a temp file + rename, so a crashed writer
+// never leaves a partial artifact a later load would trust. The .imply
+// file is exactly what imply.LoadSnapshot reads, so cached relations are
+// also inspectable and reusable with the standalone tools.
+
+// diskPaths returns the two file paths for a fingerprint.
+func (s *Store) diskPaths(fp string) (implyPath, tiesPath string) {
+	dir := filepath.Join(s.opt.Dir, fp[:2])
+	return filepath.Join(dir, fp+".imply"), filepath.Join(dir, fp+".ties")
+}
+
+// saveDisk persists the artifact. The ties file is written first and the
+// relations file last, because loadDisk treats a missing .imply as a miss:
+// a crash between the two renames leaves a harmless orphan, never a
+// half-artifact.
+func (s *Store) saveDisk(art *Artifact) error {
+	implyPath, tiesPath := s.diskPaths(art.Fingerprint)
+	if err := os.MkdirAll(filepath.Dir(implyPath), 0o755); err != nil {
+		return err
+	}
+	if err := writeAtomic(tiesPath, func(w *bufio.Writer) error {
+		for _, tie := range art.Ties() {
+			if _, err := fmt.Fprintf(w, "%s %s %d\n",
+				art.Circuit.NameOf(tie.Node), tie.Val, tie.Frame); err != nil {
+				return err
+			}
+		}
+		return nil
+	}); err != nil {
+		return err
+	}
+	return writeAtomic(implyPath, func(w *bufio.Writer) error {
+		return art.DB.Serialize(w)
+	})
+}
+
+// loadDisk rebuilds an artifact from disk against the request's circuit.
+// Any inconsistency (missing file, unknown node name, malformed line) is
+// an error; the caller falls back to learning.
+func (s *Store) loadDisk(fp string, c *netlist.Circuit) (*Artifact, error) {
+	implyPath, tiesPath := s.diskPaths(fp)
+	rf, err := os.Open(implyPath)
+	if err != nil {
+		return nil, err
+	}
+	defer rf.Close()
+	snap, err := imply.LoadSnapshot(c, bufio.NewReader(rf))
+	if err != nil {
+		return nil, err
+	}
+
+	tf, err := os.Open(tiesPath)
+	if err != nil {
+		return nil, err
+	}
+	defer tf.Close()
+	combTies, seqTies, err := readTies(c, tf)
+	if err != nil {
+		return nil, err
+	}
+
+	return &Artifact{
+		Fingerprint: fp,
+		Circuit:     c,
+		DB:          snap,
+		CombTies:    combTies,
+		SeqTies:     seqTies,
+	}, nil
+}
+
+// readTies parses the ties file, splitting combinational (frame 0) from
+// sequential ties the way learn.Result does.
+func readTies(c *netlist.Circuit, f *os.File) (comb, seq []learn.Tie, err error) {
+	sc := bufio.NewScanner(f)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 3 {
+			return nil, nil, fmt.Errorf("store: ties line %d: want 3 fields, got %d", lineNo, len(fields))
+		}
+		node, ok := c.Lookup(fields[0])
+		if !ok {
+			return nil, nil, fmt.Errorf("store: ties line %d: unknown node %q", lineNo, fields[0])
+		}
+		var val logic.V
+		switch fields[1] {
+		case "0":
+			val = logic.Zero
+		case "1":
+			val = logic.One
+		default:
+			return nil, nil, fmt.Errorf("store: ties line %d: bad value %q", lineNo, fields[1])
+		}
+		frame, err := strconv.Atoi(fields[2])
+		if err != nil || frame < 0 {
+			return nil, nil, fmt.Errorf("store: ties line %d: bad frame %q", lineNo, fields[2])
+		}
+		tie := learn.Tie{Node: node, Val: val, Frame: frame}
+		if frame == 0 {
+			comb = append(comb, tie)
+		} else {
+			seq = append(seq, tie)
+		}
+	}
+	return comb, seq, sc.Err()
+}
+
+// writeAtomic writes path through a temp file in the same directory and
+// renames it into place.
+func writeAtomic(path string, fill func(*bufio.Writer) error) error {
+	tmp, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name())
+	w := bufio.NewWriter(tmp)
+	if err := fill(w); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := w.Flush(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}

@@ -1,0 +1,81 @@
+package store
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"io"
+
+	"repro/internal/bench"
+	"repro/internal/learn"
+	"repro/internal/netlist"
+)
+
+// Fingerprint returns the content address of a learning artifact: the
+// SHA-256 of the circuit's canonical .bench form (comment lines stripped,
+// so the circuit's display name does not fragment the cache) combined with
+// the result-relevant learning options. Two requests share a fingerprint
+// exactly when learning would produce bit-identical results for them, so
+// the fingerprint is the cache key, the singleflight key and the on-disk
+// file name all at once.
+//
+// Options that cannot change the learned relations are excluded:
+// Parallelism (sharded learning is bit-identical for every worker count)
+// and KeepRows (affects only the Table 1 row dump). Unset options are
+// folded to their effective defaults first, so an explicit
+// Options{MaxFrames: 50} and the zero value hash identically.
+func Fingerprint(c *netlist.Circuit, opt learn.Options) string {
+	h := sha256.New()
+	if err := bench.Write(&commentStripper{w: h}, c); err != nil {
+		// The hash writer never fails; a bench.Write error would mean an
+		// invalid circuit, which the netlist builder prevents.
+		panic(fmt.Sprintf("store: fingerprint write: %v", err))
+	}
+	opt = opt.Normalized() // owning packages fold the defaults, not copies here
+	fmt.Fprintf(h, "|learn|frames=%d single=%t noties=%t noequiv=%t noearly=%t fix=%t skipcomb=%t pairs=%d",
+		opt.MaxFrames,
+		opt.SingleNodeOnly, opt.DisableTies, opt.DisableEquiv,
+		opt.DisableEarlyStop, opt.TieFixpoint, opt.SkipComb,
+		opt.MaxPairsPerStem)
+	fmt.Fprintf(h, "|equiv|rounds=%d support=%d class=%d seed=%d compl=%t",
+		opt.Equiv.Rounds,
+		opt.Equiv.MaxSupport,
+		opt.Equiv.MaxClass,
+		opt.Equiv.Seed,
+		opt.Equiv.IncludeComplement)
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// commentStripper forwards writes to w with full '#'-to-newline spans
+// removed, so the canonical form hashed by Fingerprint is independent of
+// the header comment bench.Write emits (which embeds the circuit name).
+type commentStripper struct {
+	w         io.Writer
+	inComment bool
+}
+
+func (cs *commentStripper) Write(p []byte) (int, error) {
+	start := 0
+	for i, b := range p {
+		switch {
+		case cs.inComment:
+			if b == '\n' {
+				cs.inComment = false
+				start = i // keep the newline
+			}
+		case b == '#':
+			if start < i {
+				if _, err := cs.w.Write(p[start:i]); err != nil {
+					return i, err
+				}
+			}
+			cs.inComment = true
+		}
+	}
+	if !cs.inComment && start < len(p) {
+		if _, err := cs.w.Write(p[start:]); err != nil {
+			return start, err
+		}
+	}
+	return len(p), nil
+}

@@ -1,0 +1,277 @@
+// Package store is a content-addressed cache of learning artifacts: the
+// frozen implication snapshot and tied-gate list produced by one learning
+// run, keyed by the SHA-256 fingerprint of the circuit's canonical .bench
+// form plus the learning options (Fingerprint). It is the "learn once,
+// reuse everywhere" half of the service layer: the paper computes its
+// implication database in one cheap preprocessing pass and amortizes it
+// across every subsequent ATPG query, and the store extends that
+// amortization across requests, processes and daemon restarts.
+//
+// Three layers, checked in order:
+//
+//  1. An in-memory LRU of frozen artifacts (immutable, shared by any
+//     number of concurrent readers without locks).
+//  2. Singleflight: N concurrent requests for the same fingerprint block
+//     on one learning run instead of triggering N.
+//  3. Optional on-disk persistence (Options.Dir) through the imply
+//     serialization format, so a restarted daemon warms from disk instead
+//     of re-learning.
+package store
+
+import (
+	"container/list"
+	"sync"
+	"time"
+
+	"repro/internal/imply"
+	"repro/internal/learn"
+	"repro/internal/netlist"
+)
+
+// Options configures a Store. The zero value is memory-only with the
+// default entry cap.
+type Options struct {
+	// MaxEntries caps the in-memory LRU (default 64). Evicted artifacts
+	// remain on disk when Dir is set.
+	MaxEntries int
+
+	// Dir enables on-disk persistence of learned artifacts under the given
+	// directory (see disk.go for the layout). Empty disables persistence.
+	Dir string
+}
+
+func (o *Options) defaults() {
+	if o.MaxEntries <= 0 {
+		o.MaxEntries = 64
+	}
+}
+
+// Artifact is one cached learning result: everything the ATPG and the
+// untestability analyses consume, minus the mutable builder state. An
+// artifact is immutable after creation and safe to share across any number
+// of concurrent readers.
+type Artifact struct {
+	Fingerprint string
+
+	// Circuit is the instance the snapshot's node ids refer to. Requests
+	// that hit the cache run against this canonical instance rather than
+	// their own parse of the same netlist.
+	Circuit *netlist.Circuit
+
+	// DB is the frozen implication snapshot.
+	DB *imply.Snapshot
+
+	// CombTies and SeqTies are the learned tied gates, sorted by name as
+	// learn.Result delivers them.
+	CombTies []learn.Tie
+	SeqTies  []learn.Tie
+
+	// EquivClasses is the number of verified gate-equivalence classes (0
+	// for artifacts reloaded from disk, which persist only relations and
+	// ties).
+	EquivClasses int
+
+	// LearnDuration is the wall-clock cost of the learning run that
+	// produced the artifact (zero when reloaded from disk).
+	LearnDuration time.Duration
+}
+
+// Ties returns the combinational and sequential ties as one list, the form
+// the ATPG consumes.
+func (a *Artifact) Ties() []learn.Tie {
+	out := make([]learn.Tie, 0, len(a.CombTies)+len(a.SeqTies))
+	out = append(out, a.CombTies...)
+	return append(out, a.SeqTies...)
+}
+
+// Source reports where a Learn call found its artifact.
+type Source int
+
+// Artifact sources, from cheapest to most expensive.
+const (
+	SourceMemory    Source = iota // in-memory LRU hit
+	SourceCoalesced               // waited on another request's learning run
+	SourceDisk                    // reloaded from the on-disk cache
+	SourceLearned                 // a fresh learning run executed
+)
+
+// String returns the wire name used in service responses.
+func (s Source) String() string {
+	switch s {
+	case SourceMemory:
+		return "hit"
+	case SourceCoalesced:
+		return "coalesced"
+	case SourceDisk:
+		return "disk"
+	default:
+		return "miss"
+	}
+}
+
+// Stats is a point-in-time snapshot of the store's counters.
+type Stats struct {
+	Entries   int   `json:"entries"`    // artifacts currently in memory
+	Hits      int64 `json:"hits"`       // in-memory LRU hits
+	Coalesced int64 `json:"coalesced"`  // requests that waited on an in-flight run
+	DiskHits  int64 `json:"disk_hits"`  // artifacts reloaded from disk
+	Misses    int64 `json:"misses"`     // requests that found nothing cached
+	Learns    int64 `json:"learns"`     // learning runs actually executed
+	Evictions int64 `json:"evictions"`  // LRU evictions
+	DiskFails int64 `json:"disk_fails"` // best-effort persistence failures
+	InFlight  int   `json:"in_flight"`  // learning runs executing right now
+}
+
+// Store caches learning artifacts by fingerprint. All methods are safe for
+// concurrent use.
+type Store struct {
+	opt Options
+
+	mu       sync.Mutex
+	lru      *list.List // of *entry, most recent first
+	byFP     map[string]*list.Element
+	inflight map[string]*flight
+
+	hits, coalesced, diskHits, misses, learns, evictions, diskFails int64
+}
+
+type entry struct {
+	fp  string
+	art *Artifact
+}
+
+// flight is one in-progress learning (or disk-load) run that concurrent
+// requests for the same fingerprint wait on.
+type flight struct {
+	done chan struct{}
+	art  *Artifact
+	err  error
+}
+
+// New returns a store. When opt.Dir is set, artifacts learned through this
+// store are persisted there and future stores (including in later
+// processes) warm from it.
+func New(opt Options) *Store {
+	opt.defaults()
+	return &Store{
+		opt:      opt,
+		lru:      list.New(),
+		byFP:     map[string]*list.Element{},
+		inflight: map[string]*flight{},
+	}
+}
+
+// Learn resolves the artifact for (c, lopt), running at most one learning
+// run per fingerprint no matter how many goroutines ask concurrently. The
+// returned Source reports how the artifact was obtained.
+func (s *Store) Learn(c *netlist.Circuit, lopt learn.Options) (*Artifact, Source, error) {
+	// KeepRows inflates the artifact with Table 1 rows no consumer of the
+	// store reads, and is excluded from the fingerprint; force it off so
+	// the cached artifact is the same either way.
+	lopt.KeepRows = false
+	fp := Fingerprint(c, lopt)
+
+	s.mu.Lock()
+	if el, ok := s.byFP[fp]; ok {
+		s.lru.MoveToFront(el)
+		s.hits++
+		art := el.Value.(*entry).art
+		s.mu.Unlock()
+		return art, SourceMemory, nil
+	}
+	if f, ok := s.inflight[fp]; ok {
+		s.coalesced++
+		s.mu.Unlock()
+		<-f.done
+		if f.err != nil {
+			return nil, SourceCoalesced, f.err
+		}
+		return f.art, SourceCoalesced, nil
+	}
+	f := &flight{done: make(chan struct{})}
+	s.inflight[fp] = f
+	s.mu.Unlock()
+
+	art, src, err := s.build(fp, c, lopt)
+
+	s.mu.Lock()
+	delete(s.inflight, fp)
+	switch {
+	case err != nil:
+	case src == SourceDisk:
+		s.diskHits++
+		s.insertLocked(fp, art)
+	default:
+		s.misses++
+		s.learns++
+		s.insertLocked(fp, art)
+	}
+	s.mu.Unlock()
+
+	f.art, f.err = art, err
+	close(f.done)
+	return art, src, err
+}
+
+// build produces the artifact for fp outside the store lock: from disk if
+// persisted, otherwise by running learning (and then persisting,
+// best-effort).
+func (s *Store) build(fp string, c *netlist.Circuit, lopt learn.Options) (*Artifact, Source, error) {
+	if s.opt.Dir != "" {
+		if art, err := s.loadDisk(fp, c); err == nil {
+			return art, SourceDisk, nil
+		}
+	}
+	lr := learn.Learn(c, lopt)
+	art := &Artifact{
+		Fingerprint:   fp,
+		Circuit:       c,
+		DB:            lr.DB,
+		CombTies:      lr.CombTies,
+		SeqTies:       lr.SeqTies,
+		EquivClasses:  len(lr.EquivClasses),
+		LearnDuration: lr.Stats.Duration,
+	}
+	if s.opt.Dir != "" {
+		if err := s.saveDisk(art); err != nil {
+			s.mu.Lock()
+			s.diskFails++
+			s.mu.Unlock()
+		}
+	}
+	return art, SourceLearned, nil
+}
+
+// insertLocked adds the artifact at the LRU front and evicts from the back
+// past MaxEntries. Callers hold s.mu.
+func (s *Store) insertLocked(fp string, art *Artifact) {
+	if el, ok := s.byFP[fp]; ok {
+		s.lru.MoveToFront(el)
+		el.Value.(*entry).art = art
+		return
+	}
+	s.byFP[fp] = s.lru.PushFront(&entry{fp: fp, art: art})
+	for s.lru.Len() > s.opt.MaxEntries {
+		back := s.lru.Back()
+		delete(s.byFP, back.Value.(*entry).fp)
+		s.lru.Remove(back)
+		s.evictions++
+	}
+}
+
+// Stats returns a consistent snapshot of the counters.
+func (s *Store) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return Stats{
+		Entries:   s.lru.Len(),
+		Hits:      s.hits,
+		Coalesced: s.coalesced,
+		DiskHits:  s.diskHits,
+		Misses:    s.misses,
+		Learns:    s.learns,
+		Evictions: s.evictions,
+		DiskFails: s.diskFails,
+		InFlight:  len(s.inflight),
+	}
+}

@@ -1,0 +1,146 @@
+package seqlearn
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strings"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/server"
+)
+
+// Service request/response types, shared with the daemon so client and
+// server cannot drift. See cmd/seqlearnd and internal/server for the wire
+// protocol (POST the .bench netlist, options as query parameters, JSON
+// back).
+type (
+	// ServiceLearnParams configures a remote learning request.
+	ServiceLearnParams = server.LearnParams
+	// ServiceATPGParams configures a remote test-generation request.
+	ServiceATPGParams = server.ATPGParams
+	// ServiceFaultSimParams configures a remote fault-simulation request.
+	ServiceFaultSimParams = server.FaultSimParams
+	// ServiceLearnResult is the answer of a remote learning request.
+	ServiceLearnResult = server.LearnResponse
+	// ServiceATPGResult is the answer of a remote test-generation request.
+	ServiceATPGResult = server.ATPGResponse
+	// ServiceFaultSimResult is the answer of a remote fault-simulation
+	// request.
+	ServiceFaultSimResult = server.FaultSimResponse
+	// ServiceStats is the daemon's cache/pool counter snapshot.
+	ServiceStats = server.StatsResponse
+	// ServiceHealth is the daemon's liveness answer.
+	ServiceHealth = server.HealthResponse
+)
+
+// Client is a thin client for a seqlearnd daemon: it serializes circuits
+// to the .bench wire form, posts them, and decodes the JSON answers.
+// The zero Client is not usable; construct with NewClient. A Client is
+// safe for concurrent use.
+type Client struct {
+	base string
+	hc   *http.Client
+}
+
+// NewClient returns a client for the daemon at base (e.g.
+// "http://127.0.0.1:8344"). There is no request timeout by default —
+// learning a large netlist legitimately takes minutes; use SetHTTPClient
+// to bound it.
+func NewClient(base string) *Client {
+	return &Client{base: strings.TrimRight(base, "/"), hc: &http.Client{}}
+}
+
+// SetHTTPClient replaces the underlying HTTP client (timeouts, transport
+// tuning, test doubles).
+func (cl *Client) SetHTTPClient(hc *http.Client) { cl.hc = hc }
+
+// Learn asks the daemon for the learned implication summary of c,
+// resolving through the daemon's snapshot cache.
+func (cl *Client) Learn(c *Circuit, p ServiceLearnParams) (*ServiceLearnResult, error) {
+	return post[ServiceLearnResult](cl, "/v1/learn", p.Query(), c)
+}
+
+// GenerateTests runs remote ATPG on c. Results are bit-identical to a
+// local GenerateTests with the same options — the daemon runs the same
+// engines against a cached snapshot.
+func (cl *Client) GenerateTests(c *Circuit, p ServiceATPGParams) (*ServiceATPGResult, error) {
+	return post[ServiceATPGResult](cl, "/v1/atpg", p.Query(), c)
+}
+
+// SimulateFaults fault-simulates c's collapsed fault universe remotely
+// against the deterministic sequence selected by p.
+func (cl *Client) SimulateFaults(c *Circuit, p ServiceFaultSimParams) (*ServiceFaultSimResult, error) {
+	return post[ServiceFaultSimResult](cl, "/v1/faultsim", p.Query(), c)
+}
+
+// Stats fetches the daemon's cache and worker-pool counters.
+func (cl *Client) Stats() (*ServiceStats, error) {
+	return get[ServiceStats](cl, "/v1/stats")
+}
+
+// Health checks daemon liveness.
+func (cl *Client) Health() (*ServiceHealth, error) {
+	return get[ServiceHealth](cl, "/healthz")
+}
+
+func post[T any](cl *Client, path string, q url.Values, c *Circuit) (*T, error) {
+	var body bytes.Buffer
+	if err := bench.Write(&body, c); err != nil {
+		return nil, fmt.Errorf("seqlearn: client: serialize %s: %w", c.Name, err)
+	}
+	q.Set("name", c.Name)
+	u := cl.base + path + "?" + q.Encode()
+	resp, err := cl.hc.Post(u, "text/plain", &body)
+	if err != nil {
+		return nil, fmt.Errorf("seqlearn: client: %w", err)
+	}
+	return decode[T](path, resp)
+}
+
+func get[T any](cl *Client, path string) (*T, error) {
+	resp, err := cl.hc.Get(cl.base + path)
+	if err != nil {
+		return nil, fmt.Errorf("seqlearn: client: %w", err)
+	}
+	return decode[T](path, resp)
+}
+
+func decode[T any](path string, resp *http.Response) (*T, error) {
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, fmt.Errorf("seqlearn: client: read %s: %w", path, err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		var e server.ErrorResponse
+		if json.Unmarshal(data, &e) == nil && e.Error != "" {
+			return nil, fmt.Errorf("seqlearn: daemon %s: %s", resp.Status, e.Error)
+		}
+		return nil, fmt.Errorf("seqlearn: daemon %s: %s", resp.Status, bytes.TrimSpace(data))
+	}
+	out := new(T)
+	if err := json.Unmarshal(data, out); err != nil {
+		return nil, fmt.Errorf("seqlearn: client: decode %s: %w", path, err)
+	}
+	return out, nil
+}
+
+// WaitHealthy polls /healthz until the daemon answers or the deadline
+// passes — the startup handshake for scripts and tests that just spawned a
+// daemon process.
+func (cl *Client) WaitHealthy(timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for {
+		if _, err := cl.Health(); err == nil {
+			return nil
+		} else if time.Now().After(deadline) {
+			return fmt.Errorf("seqlearn: daemon at %s not healthy after %v: %w", cl.base, timeout, err)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}

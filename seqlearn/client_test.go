@@ -1,0 +1,84 @@
+package seqlearn_test
+
+import (
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"repro/internal/server"
+	"repro/seqlearn"
+)
+
+// TestClientAgainstInProcessDaemon drives the full client surface against
+// a daemon mounted on a loopback listener, and checks the served ATPG
+// results agree with a direct in-process run of the same configuration.
+func TestClientAgainstInProcessDaemon(t *testing.T) {
+	ts := httptest.NewServer(server.New(server.Config{}))
+	defer ts.Close()
+	cl := seqlearn.NewClient(ts.URL)
+	if err := cl.WaitHealthy(2 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+
+	c := seqlearn.Figure2()
+
+	lr, err := cl.Learn(c, seqlearn.ServiceLearnParams{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lr.Cache != "miss" || lr.Relations == 0 {
+		t.Fatalf("learn response: %+v", lr)
+	}
+	local := seqlearn.Learn(c, seqlearn.LearnOptions{})
+	if lr.Relations != local.DB.Len() {
+		t.Fatalf("remote learned %d relations, local %d", lr.Relations, local.DB.Len())
+	}
+
+	at, err := cl.GenerateTests(c, seqlearn.ServiceATPGParams{Mode: "forbidden", Backtracks: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if at.Cache != "hit" {
+		t.Fatalf("atpg request missed the snapshot cache: %+v", at)
+	}
+	direct := seqlearn.GenerateTests(c, seqlearn.RunOptions{
+		Parallelism: 1,
+		ATPG: seqlearn.ATPGOptions{
+			BacktrackLimit: 1000,
+			Mode:           seqlearn.ModeForbidden,
+			DB:             local.DB,
+			Ties:           append(append([]seqlearn.Tie{}, local.CombTies...), local.SeqTies...),
+			FillSeed:       0x7e57,
+		},
+	})
+	if at.Total != direct.Total || at.Detected != direct.Detected ||
+		at.Untestable != direct.Untestable || at.Aborted != direct.Aborted {
+		t.Fatalf("remote ATPG differs from local: %+v vs %+v", at, direct)
+	}
+
+	fs, err := cl.SimulateFaults(c, seqlearn.ServiceFaultSimParams{Frames: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fs.Faults == 0 || fs.Frames != 12 {
+		t.Fatalf("faultsim response: %+v", fs)
+	}
+
+	stats, err := cl.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Cache.Learns != 1 || stats.Served["atpg"] != 1 {
+		t.Fatalf("daemon stats: %+v", stats)
+	}
+}
+
+func TestClientErrorsSurfaceDaemonMessage(t *testing.T) {
+	ts := httptest.NewServer(server.New(server.Config{}))
+	defer ts.Close()
+	cl := seqlearn.NewClient(ts.URL)
+	_, err := cl.GenerateTests(seqlearn.Figure2(), seqlearn.ServiceATPGParams{Mode: "psychic"})
+	if err == nil {
+		t.Fatal("bad mode accepted")
+	}
+}
