@@ -273,6 +273,72 @@ func TestPackedFaultSimSpeedSmoke(t *testing.T) {
 	}
 }
 
+// BenchmarkPackedLearning is the perf contract of the packed learning
+// sweep (PR 6): the exact simulation workload of a Learn call on s5378 —
+// captured once with learn.CaptureSweep — replayed through the scalar
+// engine route, through the packed 64-injections-per-word route on one
+// thread, and through the packed route sharded over one worker per core.
+// Every route simulates the same total frame count, and the learner built
+// on top of them is bit-identical across routes
+// (TestPackedLearningEquivalence); only the wall clock differs.
+// cmd/benchjson records this comparison in BENCH_learn.json.
+func BenchmarkPackedLearning(b *testing.B) {
+	c := gen.MustBuild("s5378")
+	w := learn.CaptureSweep(c, learn.Options{Parallelism: 1, SkipComb: true})
+	want := w.ReplayScalar()
+	replay := func(name string, run func() int) {
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if run() != want {
+					b.Fatal("replay frame count diverged")
+				}
+			}
+		})
+	}
+	replay("scalar", w.ReplayScalar)
+	replay("packed", func() int { return w.ReplayPacked(64, 1) })
+	if n := runtime.GOMAXPROCS(0); n > 1 {
+		replay(fmt.Sprintf("packed-workers-%d", n), func() int { return w.ReplayPacked(64, n) })
+	}
+}
+
+// TestPackedLearningSpeedSmoke is the CI guard for the packed learning
+// speedup: with BENCH_SMOKE=1 it fails unless the single-thread packed
+// replay of the s5378 learning sweep beats the scalar replay. The margin
+// asserted here (3x) sits far below the recorded ~10x so scheduling noise
+// cannot flake the job; the real trajectory lives in BENCH_learn.json. The
+// two routes must also agree on the total simulated frame count — the cheap
+// equivalence check (the full bit-identity property runs in the race job as
+// TestPackedLearningEquivalence).
+func TestPackedLearningSpeedSmoke(t *testing.T) {
+	if os.Getenv("BENCH_SMOKE") == "" {
+		t.Skip("set BENCH_SMOKE=1 to run the packed-vs-scalar learning speed gate")
+	}
+	c := gen.MustBuild("s5378")
+	w := learn.CaptureSweep(c, learn.Options{Parallelism: 1, SkipComb: true})
+	var fs, fp int
+	scalar, packed := time.Duration(1<<62), time.Duration(1<<62)
+	for i := 0; i < 3; i++ { // best of 3, alternating, to shed scheduling noise
+		t0 := time.Now()
+		fs = w.ReplayScalar()
+		if d := time.Since(t0); d < scalar {
+			scalar = d
+		}
+		t0 = time.Now()
+		fp = w.ReplayPacked(64, 1)
+		if d := time.Since(t0); d < packed {
+			packed = d
+		}
+	}
+	t.Logf("scalar=%v packed=%v speedup=%.1fx (%d frames)", scalar, packed, float64(scalar)/float64(packed), fs)
+	if fs != fp {
+		t.Fatalf("frame count diverged: scalar %d, packed %d", fs, fp)
+	}
+	if packed*3 > scalar {
+		t.Fatalf("packed learning sweep not at least 3x faster than scalar: scalar=%v packed=%v", scalar, packed)
+	}
+}
+
 // BenchmarkParallelATPG tracks the batch test-generation driver: the full
 // fault-dropping run on an s5378 fault sample, serial against one PODEM
 // worker per core. Counts and tests are bit-identical for any worker count

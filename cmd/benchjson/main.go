@@ -8,6 +8,7 @@
 //	benchjson                              # packed-vs-scalar fault sim -> BENCH_faultsim.json
 //	benchjson -circuit s1423 -out -        # smaller circuit, JSON to stdout
 //	benchjson -bench service               # cold-vs-warm daemon cache -> BENCH_service.json
+//	benchjson -bench learn                 # packed-vs-scalar learning sweep -> BENCH_learn.json
 package main
 
 import (
@@ -22,6 +23,7 @@ import (
 
 	"repro/internal/fault"
 	"repro/internal/gen"
+	"repro/internal/learn"
 	"repro/internal/logic"
 	"repro/internal/server"
 	"repro/seqlearn"
@@ -42,6 +44,7 @@ type report struct {
 	Circuit   string   `json:"circuit"`
 	Faults    int      `json:"faults,omitempty"`
 	Frames    int      `json:"frames,omitempty"`
+	Jobs      int      `json:"jobs,omitempty"`
 	GoVersion string   `json:"go_version"`
 	GOOS      string   `json:"goos"`
 	GOARCH    string   `json:"goarch"`
@@ -51,7 +54,7 @@ type report struct {
 
 func main() {
 	var (
-		benchName = flag.String("bench", "faultsim", "benchmark to record: faultsim or service")
+		benchName = flag.String("bench", "faultsim", "benchmark to record: faultsim, service or learn")
 		circuit   = flag.String("circuit", "s5378", "suite circuit to benchmark")
 		frames    = flag.Int("frames", 24, "sequence length (faultsim)")
 		maxFaults = flag.Int("max-faults", 200, "ATPG fault-list bound (service)")
@@ -74,6 +77,8 @@ func main() {
 		rep, summary = runFaultSim(*circuit, *frames)
 	case "service":
 		rep, summary = runService(*circuit, *maxFaults)
+	case "learn":
+		rep, summary = runLearn(*circuit)
 	default:
 		fmt.Fprintf(os.Stderr, "benchjson: unknown benchmark %q\n", *benchName)
 		os.Exit(1)
@@ -150,6 +155,49 @@ func runFaultSim(circuit string, frames int) (report, string) {
 		rep.Results = append(rep.Results, measure(fmt.Sprintf("packed-workers-%d", n), func() int {
 			return len(ps.Detect(faults))
 		}))
+	}
+
+	base := rep.Results[0].NsPerOp
+	for i := range rep.Results[1:] {
+		rep.Results[i+1].SpeedupVsScalar = float64(base) / float64(rep.Results[i+1].NsPerOp)
+	}
+	return rep, fmt.Sprintf("%s: scalar %s/op, packed %s/op, %.1fx",
+		circuit, fmtNs(rep.Results[0].NsPerOp), fmtNs(rep.Results[1].NsPerOp),
+		rep.Results[1].SpeedupVsScalar)
+}
+
+// runLearn records the packed-vs-scalar learning-sweep comparison: the
+// exact simulation workload of a Learn call, captured once, replayed
+// through the scalar engine route, the packed 64-injections-per-word route
+// on one thread, and the packed route sharded over one worker per core.
+// All routes simulate the same total frame count (checked per iteration).
+func runLearn(circuit string) (report, string) {
+	c := gen.MustBuild(circuit)
+	w := learn.CaptureSweep(c, learn.Options{Parallelism: 1, SkipComb: true})
+	frames := w.ReplayScalar()
+	rep := report{
+		Benchmark: "learn",
+		Circuit:   circuit,
+		Frames:    frames,
+		Jobs:      w.Jobs(),
+	}
+
+	measure := func(name string, replay func() int) result {
+		br := testing.Benchmark(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if replay() != frames {
+					b.Fatal("replay frame count diverged")
+				}
+			}
+		})
+		return result{Name: name, NsPerOp: br.NsPerOp(), Iterations: br.N}
+	}
+
+	rep.Results = append(rep.Results, measure("scalar", w.ReplayScalar))
+	rep.Results = append(rep.Results, measure("packed", func() int { return w.ReplayPacked(64, 1) }))
+	if n := runtime.GOMAXPROCS(0); n > 1 {
+		rep.Results = append(rep.Results, measure(fmt.Sprintf("packed-workers-%d", n),
+			func() int { return w.ReplayPacked(64, n) }))
 	}
 
 	base := rep.Results[0].NsPerOp

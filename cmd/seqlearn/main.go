@@ -31,6 +31,7 @@ func main() {
 		singleOnly = flag.Bool("single-only", false, "single-node learning only")
 		skipComb   = flag.Bool("skip-comb", false, "skip the combinational learning pass")
 		maxFrames  = flag.Int("max-frames", 0, "simulation frame cap (default 50)")
+		noEarly    = flag.Bool("no-early-stop", false, "disable the repeated-state stopping rule (ablation)")
 		workers    = flag.Int("workers", 0, "learning workers (0 = one per core, 1 = serial; results identical)")
 		remote     = flag.String("remote", "", "run against a seqlearnd daemon at this base URL instead of in-process")
 	)
@@ -43,20 +44,24 @@ func main() {
 		os.Exit(1)
 	}
 
+	params := seqlearn.ServiceLearnParams{
+		MaxFrames:   *maxFrames,
+		SingleOnly:  *singleOnly,
+		SkipComb:    *skipComb,
+		NoEarlyStop: *noEarly,
+		Workers:     *workers,
+	}
 	if *remote != "" {
-		if err := runRemote(*remote, c, *maxFrames, *singleOnly, *skipComb, *workers); err != nil {
+		if err := runRemote(*remote, c, params); err != nil {
 			fmt.Fprintln(os.Stderr, "seqlearn:", err)
 			os.Exit(1)
 		}
 		return
 	}
 
-	res := learn.Learn(c, learn.Options{
-		SingleNodeOnly: *singleOnly,
-		SkipComb:       *skipComb,
-		MaxFrames:      *maxFrames,
-		Parallelism:    *workers,
-	})
+	// The in-process run goes through the same params struct as the remote
+	// one, so a local ablation and its remote replay configure identically.
+	res := learn.Learn(c, params.Options())
 	ffff, gateFF, _ := res.DB.Counts(true)
 	fmt.Printf("%s: %s\n", c.Name, c.Stats())
 	fmt.Printf("sequential relations: FF-FF=%d Gate-FF=%d\n", ffff, gateFF)
@@ -77,14 +82,9 @@ func main() {
 
 // runRemote sends the circuit to a seqlearnd daemon and prints the served
 // summary, including whether the daemon's snapshot cache already held it.
-func runRemote(base string, c *netlist.Circuit, maxFrames int, singleOnly, skipComb bool, workers int) error {
+func runRemote(base string, c *netlist.Circuit, params seqlearn.ServiceLearnParams) error {
 	cl := seqlearn.NewClient(base)
-	res, err := cl.Learn(c, seqlearn.ServiceLearnParams{
-		MaxFrames:  maxFrames,
-		SingleOnly: singleOnly,
-		SkipComb:   skipComb,
-		Workers:    workers,
-	})
+	res, err := cl.Learn(c, params)
 	if err != nil {
 		return err
 	}

@@ -90,8 +90,24 @@ type Options struct {
 	// combinational sweep) and records into a private shard; shards are
 	// merged in canonical order, so the learned relations, ties,
 	// equivalences, statistics and serialized database are bit-identical
-	// for every worker count.
+	// for every worker count. Packing composes with sharding: each worker
+	// drains whole lane batches, for Parallelism × PackedLanes learning
+	// machines in flight.
 	Parallelism int
+
+	// DisablePacked routes the single- and multiple-node simulation sweeps
+	// through the scalar engine one injection at a time instead of packing
+	// PackedLanes injections per word through the scheduled packed runner.
+	// Results are bit-identical either way (the differential suite
+	// enforces it); the flag exists as a debug escape hatch and for the
+	// equivalence tests themselves.
+	DisablePacked bool
+
+	// PackedLanes caps how many learning machines are packed per scheduled
+	// batch (default and maximum logic.W = 64, the word width; lower
+	// values exercise lane-boundary handling in tests). Ignored when
+	// DisablePacked is set.
+	PackedLanes int
 
 	// Equiv tunes equivalence identification.
 	Equiv equiv.Options
@@ -105,6 +121,9 @@ func (o *Options) defaults() {
 		o.MaxPairsPerStem = 1 << 20
 	}
 	o.Parallelism = sim.ClampWorkers(o.Parallelism)
+	if o.PackedLanes <= 0 || o.PackedLanes > logic.W {
+		o.PackedLanes = logic.W
+	}
 }
 
 // Normalized returns the options with unset fields folded to their
@@ -195,6 +214,12 @@ type learner struct {
 	// as the serial engine. Tie constants are kept in sync via setTies.
 	engines []*sim.Engine
 
+	// packed holds one 64-lane scheduled simulator per worker (nil when
+	// Options.DisablePacked): the single- and multiple-node sweeps batch
+	// their injections through these, PackedLanes machines per run. Tie
+	// constants are kept in sync with the scalar pool via setTies.
+	packed []*sim.PackedEngine
+
 	// records per class: observed literal -> producing stem assignments.
 	records []map[imply.Lit][]record
 	// tieFrame tracks the earliest frame per learned tie.
@@ -208,6 +233,12 @@ type learner struct {
 	dFeeder  []bool
 
 	partners map[netlist.NodeID][]sim.EqPartner
+
+	// trace, when non-nil, collects the simulation workload of every sweep
+	// (CaptureSweep); curTies mirrors the constants last installed by
+	// setTies so each traced stage can snapshot its tie epoch.
+	trace   *SweepWorkload
+	curTies map[netlist.NodeID]logic.V
 }
 
 type rowKey struct {
@@ -217,10 +248,16 @@ type rowKey struct {
 
 // Learn runs the full sequential learning flow on c.
 func Learn(c *netlist.Circuit, opt Options) *Result {
+	return learnWith(c, opt, nil)
+}
+
+// learnWith is Learn with an optional sweep-workload recorder attached.
+func learnWith(c *netlist.Circuit, opt Options, trace *SweepWorkload) *Result {
 	opt.defaults()
 	start := time.Now()
 
 	l := &learner{
+		trace:    trace,
 		c:        c,
 		opt:      opt,
 		db:       imply.NewDB(c),
@@ -232,6 +269,13 @@ func Learn(c *netlist.Circuit, opt Options) *Result {
 	l.engines[0] = sim.NewEngine(c)
 	for i := 1; i < len(l.engines); i++ {
 		l.engines[i] = l.engines[0].Clone()
+	}
+	if !opt.DisablePacked {
+		l.packed = make([]*sim.PackedEngine, opt.Parallelism)
+		l.packed[0] = sim.NewPackedEngine(c)
+		for i := 1; i < len(l.packed); i++ {
+			l.packed[i] = l.packed[0].Clone()
+		}
 	}
 	l.dFeeder = make([]bool, c.NumNodes())
 	for _, id := range c.Seqs {
@@ -336,39 +380,52 @@ func (l *learner) stemsFor(cls int32) []netlist.NodeID {
 	return out
 }
 
+// stemRows is the per-stem shard of the single-node sweep: the 0-row and
+// 1-row of the stem, with simmed false when a row was served from the row
+// cache.
+type stemRows struct {
+	rows   [2]sim.Result
+	simmed [2]bool
+}
+
 // singleNode runs the single-node learning phase for one class: the stem
-// injections are sharded over the worker pool, then recorded by a serial
-// merge in stem order, so the outcome is identical to a serial sweep.
+// injections are sharded over the worker pool — packed into 64-lane
+// batches unless DisablePacked — then recorded by a serial merge in stem
+// order, so the outcome is identical to a serial scalar sweep.
 func (l *learner) singleNode(cls int32, records map[imply.Lit][]record) {
 	modes := sim.PropModes(l.c, nil, cls)
 	stems := l.stemsFor(cls)
 	l.res.Stats.Stems += len(stems)
 
+	opt := sim.Options{
+		MaxFrames:   l.opt.MaxFrames,
+		PropModes:   modes,
+		NoEarlyStop: l.opt.DisableEarlyStop,
+	}
+
 	// Parallel sweep. The row cache is only ever hit across class passes
 	// (each stem appears once per pass), so it is frozen here and the
 	// workers read it lock-free; new entries are inserted by the merge.
-	type stemRows struct {
-		rows   [2]sim.Result
-		simmed [2]bool // false when served from the row cache
-	}
 	out := make([]stemRows, len(stems))
-	l.runParallel(len(stems), func(eng *sim.Engine, i int) {
-		s := stems[i]
-		for _, v := range []logic.V{logic.Zero, logic.One} {
-			if cached, ok := l.rowCache[rowKey{stem: s, val: v}]; ok {
-				out[i].rows[v-logic.Zero] = *cached
-				continue
+	if l.packed != nil {
+		l.singleNodePacked(stems, opt, out)
+	} else {
+		l.runParallel(len(stems), func(eng *sim.Engine, i int) {
+			s := stems[i]
+			for _, v := range []logic.V{logic.Zero, logic.One} {
+				if cached, ok := l.rowCache[rowKey{stem: s, val: v}]; ok {
+					out[i].rows[v-logic.Zero] = *cached
+					continue
+				}
+				out[i].simmed[v-logic.Zero] = true
+				out[i].rows[v-logic.Zero] = eng.Run(
+					[]sim.Injection{{Frame: 0, Node: s, Val: v}}, opt)
 			}
-			out[i].simmed[v-logic.Zero] = true
-			out[i].rows[v-logic.Zero] = eng.Run(
-				[]sim.Injection{{Frame: 0, Node: s, Val: v}},
-				sim.Options{
-					MaxFrames:   l.opt.MaxFrames,
-					PropModes:   modes,
-					NoEarlyStop: l.opt.DisableEarlyStop,
-				})
-		}
-	})
+		})
+	}
+	if l.trace != nil {
+		l.traceSingle(stems, opt, out)
+	}
 
 	// Deterministic merge.
 	multiClass := len(l.c.Classes()) > 1
@@ -483,10 +540,77 @@ func (l *learner) addTie(n netlist.NodeID, v logic.V, frame int) {
 	l.tieFrame[n] = frame
 }
 
+// targetOut is the per-target shard of the multiple-node sweep.
+type targetOut struct {
+	skip    bool // target node already tied: nothing to do
+	direct  bool // contradictory necessary assignments, no simulation
+	simmed  bool
+	clash   bool // simulation conflict: target impossible
+	frames  int
+	T       int
+	implied []imply.Lit // frame-T assignments implied by the target
+}
+
+// prepTarget derives the necessary-assignment injection schedule for one
+// learning target from its single-node records (paper Section 3.2),
+// deduplicated, with the target assumption itself injected at frame T. It
+// returns nil when no simulation is needed: the target node is already
+// tied (o.skip) or two necessary assignments contradict (o.direct).
+func (l *learner) prepTarget(lit imply.Lit, recs []record, o *targetOut) []sim.Injection {
+	if _, tied := l.res.Ties[lit.Node]; tied {
+		o.skip = true
+		return nil
+	}
+	target := lit.Not()
+	T := 0
+	for _, r := range recs {
+		if r.Offset > T {
+			T = r.Offset
+		}
+	}
+	o.T = T
+	inj := make([]sim.Injection, 0, len(recs)+1)
+	seen := map[sim.Injection]bool{}
+	for _, r := range recs {
+		in := sim.Injection{Frame: T - r.Offset, Node: r.Stem.Node, Val: r.Stem.Val.Not()}
+		if seen[in] {
+			continue
+		}
+		// A contradictory necessary assignment proves the target
+		// impossible without simulating.
+		if seen[sim.Injection{Frame: in.Frame, Node: in.Node, Val: in.Val.Not()}] {
+			o.direct = true
+			return nil
+		}
+		seen[in] = true
+		inj = append(inj, in)
+	}
+	return append(inj, sim.Injection{Frame: T, Node: target.Node, Val: target.Val})
+}
+
+// collectImplied harvests the frame-T assignments implied by the target
+// into the target's shard, skipping the target itself, tied gates and
+// gate-gate pairs (which follow from the gate-FF relations, Section 3).
+func (l *learner) collectImplied(lit imply.Lit, frame sim.Frame, o *targetOut) {
+	for _, a := range frame {
+		if a.Node == lit.Node {
+			continue
+		}
+		if _, tied := l.res.Ties[a.Node]; tied {
+			continue
+		}
+		if !l.c.IsSeq(lit.Node) && !l.c.IsSeq(a.Node) {
+			continue
+		}
+		o.implied = append(o.implied, imply.Lit{Node: a.Node, Val: a.Val})
+	}
+}
+
 // multiNode runs the multiple-node learning phase for one class. Targets
 // are independent within a pass (ties proven here are applied only
-// afterwards), so they shard over the worker pool; the serial merge in
-// sorted target order reproduces the serial pass exactly.
+// afterwards), so they shard over the worker pool — packed into 64-lane
+// batches unless DisablePacked; the serial merge in sorted target order
+// reproduces the serial scalar pass exactly.
 func (l *learner) multiNode(cls int32, records map[imply.Lit][]record) {
 	ties := l.tiesForSim()
 	modes := sim.PropModes(l.c, ties, cls)
@@ -503,80 +627,44 @@ func (l *learner) multiNode(cls int32, records map[imply.Lit][]record) {
 		return targets[i].Val < targets[j].Val
 	})
 
+	opt := sim.Options{
+		MaxFrames:   l.opt.MaxFrames, // per-target T+1 caps override this
+		Equiv:       l.partners,
+		PropModes:   modes,
+		NoEarlyStop: true,
+	}
+
 	// Parallel sweep. Workers read l.res.Ties and records but never write
 	// shared state; every observation lands in the target's private shard.
-	type targetOut struct {
-		skip    bool // target node already tied: nothing to do
-		direct  bool // contradictory necessary assignments, no simulation
-		simmed  bool
-		clash   bool // simulation conflict: target impossible
-		frames  int
-		T       int
-		implied []imply.Lit // frame-T assignments implied by the target
-	}
 	out := make([]targetOut, len(targets))
-	l.runParallel(len(targets), func(eng *sim.Engine, i int) {
-		lit := targets[i]
-		o := &out[i]
-		if _, tied := l.res.Ties[lit.Node]; tied {
-			o.skip = true
-			return
-		}
-		recs := records[lit]
-		target := lit.Not()
-		T := 0
-		for _, r := range recs {
-			if r.Offset > T {
-				T = r.Offset
-			}
-		}
-		o.T = T
-		inj := make([]sim.Injection, 0, len(recs)+1)
-		seen := map[sim.Injection]bool{}
-		for _, r := range recs {
-			in := sim.Injection{Frame: T - r.Offset, Node: r.Stem.Node, Val: r.Stem.Val.Not()}
-			if seen[in] {
-				continue
-			}
-			// A contradictory necessary assignment proves the target
-			// impossible without simulating.
-			if seen[sim.Injection{Frame: in.Frame, Node: in.Node, Val: in.Val.Not()}] {
-				o.direct = true
+	if l.packed != nil {
+		l.multiNodePacked(targets, records, opt, out)
+	} else {
+		l.runParallel(len(targets), func(eng *sim.Engine, i int) {
+			lit := targets[i]
+			o := &out[i]
+			inj := l.prepTarget(lit, records[lit], o)
+			if inj == nil {
 				return
 			}
-			seen[in] = true
-			inj = append(inj, in)
-		}
-		inj = append(inj, sim.Injection{Frame: T, Node: target.Node, Val: target.Val})
-
-		res := eng.Run(inj, sim.Options{
-			MaxFrames:   T + 1,
-			Equiv:       l.partners,
-			PropModes:   modes,
-			NoEarlyStop: true,
+			lopt := opt
+			lopt.MaxFrames = o.T + 1
+			res := eng.Run(inj, lopt)
+			o.simmed = true
+			o.frames = len(res.Frames)
+			if res.Conflict {
+				o.clash = true
+				return
+			}
+			if len(res.Frames) <= o.T {
+				return
+			}
+			l.collectImplied(lit, res.Frames[o.T], o)
 		})
-		o.simmed = true
-		o.frames = len(res.Frames)
-		if res.Conflict {
-			o.clash = true
-			return
-		}
-		if len(res.Frames) <= T {
-			return
-		}
-		for _, a := range res.Frames[T] {
-			if a.Node == target.Node {
-				continue
-			}
-			if _, tied := l.res.Ties[a.Node]; tied {
-				continue
-			}
-			if !l.c.IsSeq(target.Node) && !l.c.IsSeq(a.Node) {
-				continue
-			}
-			o.implied = append(o.implied, imply.Lit{Node: a.Node, Val: a.Val})
-		}
-	})
+	}
+	if l.trace != nil {
+		l.traceMulti(targets, records, opt, out)
+	}
 
 	// Deterministic merge. Ties proven during this pass are applied only
 	// afterwards, keeping the pass order-independent; TieFixpoint loops

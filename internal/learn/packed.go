@@ -1,0 +1,176 @@
+package learn
+
+import (
+	"cmp"
+	"math/bits"
+	"slices"
+
+	"repro/internal/imply"
+	"repro/internal/logic"
+	"repro/internal/netlist"
+	"repro/internal/sim"
+)
+
+// This file routes the learning hot path through sim.PackedEngine: instead
+// of one scalar Engine.Run per injection, up to Options.PackedLanes stem or
+// target injections pack into the lanes of one scheduled run, so a single
+// compiled-program sweep advances 64 learning machines at once. Packing
+// composes with the worker sharding in parallel.go — each worker drains
+// whole batches — and every lane reproduces the scalar engine bit for bit
+// (sim.TestRunScheduledMatchesEngine), so the serial merges in learn.go
+// are oblivious to the route and the learned result is identical for every
+// batch size and worker count (TestPackedLearningEquivalence).
+
+// compareSchedules orders injection schedules by their leading node, then
+// lexicographically by (node, frame, value) — the clustering key for packed
+// batches: schedules over the same nodes drive the same cones.
+func compareSchedules(a, b []sim.Injection) int {
+	for i := 0; i < len(a) && i < len(b); i++ {
+		if d := cmp.Compare(a[i].Node, b[i].Node); d != 0 {
+			return d
+		}
+		if d := cmp.Compare(a[i].Frame, b[i].Frame); d != 0 {
+			return d
+		}
+		if d := cmp.Compare(a[i].Val, b[i].Val); d != 0 {
+			return d
+		}
+	}
+	return cmp.Compare(len(a), len(b))
+}
+
+// batchCount returns how many PackedLanes-sized batches cover n jobs.
+func (l *learner) batchCount(n int) int {
+	return (n + l.opt.PackedLanes - 1) / l.opt.PackedLanes
+}
+
+// batchSpan returns the job range [lo, hi) of batch b.
+func (l *learner) batchSpan(b, n int) (lo, hi int) {
+	lo = b * l.opt.PackedLanes
+	hi = lo + l.opt.PackedLanes
+	if hi > n {
+		hi = n
+	}
+	return lo, hi
+}
+
+// singleNodePacked is the packed simulation stage of the single-node
+// sweep: the (stem, value) injections that miss the row cache pack into
+// lane batches, and the batches shard over the packed worker pool. Each
+// job writes only its private out slot, so the merge order in singleNode
+// is untouched.
+func (l *learner) singleNodePacked(stems []netlist.NodeID, opt sim.Options, out []stemRows) {
+	type job struct {
+		idx int // index in stems/out
+		vi  int // 0 or 1
+		val logic.V
+	}
+	var jobs []job
+	for i, s := range stems {
+		for vi, v := range []logic.V{logic.Zero, logic.One} {
+			if cached, ok := l.rowCache[rowKey{stem: s, val: v}]; ok {
+				out[i].rows[vi] = *cached
+				continue
+			}
+			out[i].simmed[vi] = true
+			jobs = append(jobs, job{idx: i, vi: vi, val: v})
+		}
+	}
+	l.runPackedParallel(l.batchCount(len(jobs)), func(pe *sim.PackedEngine, b int) {
+		lo, hi := l.batchSpan(b, len(jobs))
+		runs := make([]sim.LaneRun, hi-lo)
+		injs := make([]sim.Injection, hi-lo)
+		for k := range runs {
+			j := jobs[lo+k]
+			injs[k] = sim.Injection{Frame: 0, Node: stems[j.idx], Val: j.val}
+			runs[k] = sim.LaneRun{Inj: injs[k : k+1 : k+1]}
+		}
+		rs := pe.RunScheduled(runs, opt).Results()
+		for k := range runs {
+			j := jobs[lo+k]
+			out[j.idx].rows[j.vi] = rs[k]
+		}
+	})
+}
+
+// multiNodePacked is the packed counterpart of the multiple-node worker
+// body: stage one derives every target's necessary-assignment schedule
+// (engine-free, sharded over the scalar worker pool), stage two packs the
+// targets that need simulation into lane batches with per-lane T+1 frame
+// caps. Conflicts and implied assignments land in target-private shards,
+// exactly as the scalar path leaves them.
+func (l *learner) multiNodePacked(targets []imply.Lit, records map[imply.Lit][]record, opt sim.Options, out []targetOut) {
+	injs := make([][]sim.Injection, len(targets))
+	l.runParallel(len(targets), func(_ *sim.Engine, i int) {
+		injs[i] = l.prepTarget(targets[i], records[targets[i]], &out[i])
+	})
+	simIdx := make([]int, 0, len(targets))
+	for i := range targets {
+		if injs[i] != nil {
+			simIdx = append(simIdx, i)
+		}
+	}
+	// Batch lanes with similar frame horizons together: every lane writes
+	// only its own out slot, so the grouping is free to reorder — results
+	// stay bit-identical — while batches stop running long-tail frames for
+	// a single deep target and each batch reads only a few distinct frame
+	// indices in the FramesAt extraction below. The secondary key clusters
+	// targets with lexicographically similar schedules: their cones overlap,
+	// which shrinks the per-frame evaluation front — the packed sweep
+	// evaluates the union cone of the batch.
+	slices.SortStableFunc(simIdx, func(a, b int) int {
+		if d := cmp.Compare(out[a].T, out[b].T); d != 0 {
+			return d
+		}
+		return compareSchedules(injs[a], injs[b])
+	})
+	opt.NoFrameRecords = true // only Captured frame T is read back
+	l.runPackedParallel(l.batchCount(len(simIdx)), func(pe *sim.PackedEngine, b int) {
+		lo, hi := l.batchSpan(b, len(simIdx))
+		runs := make([]sim.LaneRun, hi-lo)
+		for k := range runs {
+			i := simIdx[lo+k]
+			runs[k] = sim.LaneRun{Inj: injs[i], MaxFrames: out[i].T + 1, CaptureLast: true}
+		}
+		res := pe.RunScheduled(runs, opt)
+		for k := range runs {
+			i := simIdx[lo+k]
+			o := &out[i]
+			o.simmed = true
+			o.frames = res.NumFrames(k)
+			if res.ConflictMask&(uint64(1)<<uint(k)) != 0 {
+				o.clash = true
+			}
+		}
+		// The packed form of collectImplied: walk each captured group once,
+		// bit-iterating the lanes per union entry. Group entries are sorted
+		// by node and each target sits in exactly one group, so every
+		// target's implied list comes out in the order the scalar route
+		// appends it.
+		var seqLit [logic.W]bool
+		for k := range runs {
+			seqLit[k] = l.c.IsSeq(targets[simIdx[lo+k]].Node)
+		}
+		for _, g := range res.CapturedGroups() {
+			for ei, n := range g.Nodes {
+				if _, tied := l.res.Ties[n]; tied {
+					continue
+				}
+				nIsSeq := l.c.IsSeq(n)
+				pv := g.Vals[ei]
+				for m := pv.Known() & g.Mask; m != 0; m &= m - 1 {
+					k := bits.TrailingZeros64(m)
+					i := simIdx[lo+k]
+					if n == targets[i].Node || (!seqLit[k] && !nIsSeq) {
+						continue
+					}
+					v := logic.Zero
+					if pv.Ones&(uint64(1)<<uint(k)) != 0 {
+						v = logic.One
+					}
+					out[i].implied = append(out[i].implied, imply.Lit{Node: n, Val: v})
+				}
+			}
+		}
+	})
+}

@@ -1,0 +1,73 @@
+package learn
+
+import (
+	"runtime"
+	"testing"
+
+	"repro/internal/gen"
+)
+
+// TestPackedLearningEquivalence is the packed learner's contract: for
+// every batch size and worker count, routing the single- and multiple-node
+// sweeps through the 64-lane scheduled runner leaves the learned database
+// dump, ties, equivalences, rows and statistics byte-identical to the
+// scalar serial learner.
+func TestPackedLearningEquivalence(t *testing.T) {
+	for _, name := range []string{"s953", "s1423"} {
+		c := gen.MustBuild(name)
+		base := dumpResult(c, Learn(c, Options{
+			Parallelism: 1, KeepRows: true, DisablePacked: true,
+		}))
+		for _, lanes := range []int{1, 7, 64} {
+			for _, p := range []int{1, 3, runtime.GOMAXPROCS(0)} {
+				got := dumpResult(c, Learn(c, Options{
+					Parallelism: p, KeepRows: true, PackedLanes: lanes,
+				}))
+				if got != base {
+					t.Fatalf("%s: packed lanes=%d workers=%d dump differs from scalar serial run (%d vs %d bytes)",
+						name, lanes, p, len(got), len(base))
+				}
+			}
+		}
+	}
+}
+
+// TestPackedLearningEquivalenceAblations sweeps the option branches whose
+// simulation configurations differ (gating, equivalence partners, the
+// early-stop ablation, tie fixpoint feedback) through the packed path.
+func TestPackedLearningEquivalenceAblations(t *testing.T) {
+	opts := []Options{
+		{SingleNodeOnly: true, SkipComb: true},
+		{DisableTies: true, SkipComb: true},
+		{DisableEquiv: true},
+		{DisableEarlyStop: true, SkipComb: true},
+		{TieFixpoint: true},
+	}
+	c := gen.MustBuild("s953")
+	for i, opt := range opts {
+		scalar := opt
+		scalar.Parallelism = 1
+		scalar.DisablePacked = true
+		packed := opt
+		packed.Parallelism = 4
+		if dumpResult(c, Learn(c, scalar)) != dumpResult(c, Learn(c, packed)) {
+			t.Fatalf("option set %d: packed dump differs from scalar serial run", i)
+		}
+	}
+}
+
+// TestPackedLearningMultiClock covers the row-cache interaction: cached
+// rows bypass the packed batches entirely and must still merge into the
+// same result across class passes.
+func TestPackedLearningMultiClock(t *testing.T) {
+	c := multiClockCircuit(5)
+	base := dumpResult(c, Learn(c, Options{
+		Parallelism: 1, MaxFrames: 10, DisablePacked: true,
+	}))
+	for _, lanes := range []int{3, 64} {
+		got := dumpResult(c, Learn(c, Options{Parallelism: 2, MaxFrames: 10, PackedLanes: lanes}))
+		if got != base {
+			t.Fatalf("multi-clock packed lanes=%d dump differs from scalar serial run", lanes)
+		}
+	}
+}

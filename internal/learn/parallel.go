@@ -44,11 +44,51 @@ func (l *learner) runParallel(n int, fn func(eng *sim.Engine, i int)) {
 	wg.Wait()
 }
 
-// setTies installs the tie constants on every worker engine. The closure
-// under constant propagation is computed once and copied to the clones.
+// runPackedParallel is runParallel over the packed engine pool: it
+// dispatches fn(engine, b) for b in [0, n) with a worker-private packed
+// engine per invocation, handing batches out by an atomic counter.
+func (l *learner) runPackedParallel(n int, fn func(pe *sim.PackedEngine, b int)) {
+	if len(l.packed) == 1 || n <= 1 {
+		for b := 0; b < n; b++ {
+			fn(l.packed[0], b)
+		}
+		return
+	}
+	workers := len(l.packed)
+	if workers > n {
+		workers = n
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func(pe *sim.PackedEngine) {
+			defer wg.Done()
+			for {
+				b := int(next.Add(1)) - 1
+				if b >= n {
+					return
+				}
+				fn(pe, b)
+			}
+		}(l.packed[w])
+	}
+	wg.Wait()
+}
+
+// setTies installs the tie constants on every worker engine, scalar and
+// packed. The closure under constant propagation is computed once per pool
+// and copied to the clones.
 func (l *learner) setTies(ties map[netlist.NodeID]logic.V) {
+	l.curTies = ties
 	l.engines[0].SetTies(ties)
 	for _, e := range l.engines[1:] {
 		e.CopyTies(l.engines[0])
+	}
+	if l.packed != nil {
+		l.packed[0].SetTies(ties)
+		for _, e := range l.packed[1:] {
+			e.CopyTies(l.packed[0])
+		}
 	}
 }

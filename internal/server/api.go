@@ -3,6 +3,7 @@ package server
 import (
 	"fmt"
 	"net/url"
+	"slices"
 	"strconv"
 
 	"repro/internal/atpg"
@@ -23,19 +24,21 @@ import (
 // core, 1 = serial; results are bit-identical either way); the daemon
 // separately bounds how many requests compute concurrently.
 type LearnParams struct {
-	MaxFrames  int
-	SingleOnly bool
-	SkipComb   bool
-	Workers    int
+	MaxFrames   int
+	SingleOnly  bool
+	SkipComb    bool
+	NoEarlyStop bool
+	Workers     int
 }
 
 // Options maps the request to learn.Options.
 func (p LearnParams) Options() learn.Options {
 	return learn.Options{
-		MaxFrames:      p.MaxFrames,
-		SingleNodeOnly: p.SingleOnly,
-		SkipComb:       p.SkipComb,
-		Parallelism:    p.Workers,
+		MaxFrames:        p.MaxFrames,
+		SingleNodeOnly:   p.SingleOnly,
+		SkipComb:         p.SkipComb,
+		DisableEarlyStop: p.NoEarlyStop,
+		Parallelism:      p.Workers,
 	}
 }
 
@@ -45,11 +48,26 @@ func (p LearnParams) Query() url.Values {
 	setInt(q, "max_frames", p.MaxFrames)
 	setBool(q, "single_only", p.SingleOnly)
 	setBool(q, "skip_comb", p.SkipComb)
+	setBool(q, "no_early_stop", p.NoEarlyStop)
 	setInt(q, "workers", p.Workers)
 	return q
 }
 
+// learnQueryKeys lists every parameter /v1/learn accepts ("name" is the
+// display-name parameter shared by all compute endpoints).
+var learnQueryKeys = []string{"name", "max_frames", "single_only", "skip_comb", "no_early_stop", "workers"}
+
 func learnParamsFromQuery(q url.Values) (LearnParams, error) {
+	if err := checkKnown(q, learnQueryKeys); err != nil {
+		return LearnParams{}, err
+	}
+	return decodeLearnParams(q)
+}
+
+// decodeLearnParams reads the learning parameters without the unknown-key
+// check, so endpoints layering their own parameters on top (ATPG) can run
+// one check against their combined key set.
+func decodeLearnParams(q url.Values) (LearnParams, error) {
 	var p LearnParams
 	var err error
 	if p.MaxFrames, err = getInt(q, "max_frames"); err != nil {
@@ -59,6 +77,9 @@ func learnParamsFromQuery(q url.Values) (LearnParams, error) {
 		return p, err
 	}
 	if p.SkipComb, err = getBool(q, "skip_comb"); err != nil {
+		return p, err
+	}
+	if p.NoEarlyStop, err = getBool(q, "no_early_stop"); err != nil {
 		return p, err
 	}
 	p.Workers, err = getInt(q, "workers")
@@ -153,10 +174,20 @@ func (p ATPGParams) Query() url.Values {
 	return q
 }
 
+// atpgQueryKeys is everything /v1/atpg accepts: the learning parameters
+// (the snapshot is resolved through the same cache) plus its own.
+var atpgQueryKeys = append([]string{
+	"mode", "backtracks", "max_faults", "max_window", "atpg_workers",
+	"compact", "fill_seed", "include_tests",
+}, learnQueryKeys...)
+
 func atpgParamsFromQuery(q url.Values) (ATPGParams, error) {
 	var p ATPGParams
 	var err error
-	if p.Learn, err = learnParamsFromQuery(q); err != nil {
+	if err = checkKnown(q, atpgQueryKeys); err != nil {
+		return p, err
+	}
+	if p.Learn, err = decodeLearnParams(q); err != nil {
 		return p, err
 	}
 	p.Mode = q.Get("mode")
@@ -206,9 +237,15 @@ func (p FaultSimParams) Query() url.Values {
 	return q
 }
 
+// faultSimQueryKeys lists every parameter /v1/faultsim accepts.
+var faultSimQueryKeys = []string{"name", "frames", "seed", "workers"}
+
 func faultSimParamsFromQuery(q url.Values) (FaultSimParams, error) {
 	var p FaultSimParams
 	var err error
+	if err = checkKnown(q, faultSimQueryKeys); err != nil {
+		return p, err
+	}
 	if p.Frames, err = getInt(q, "frames"); err != nil {
 		return p, err
 	}
@@ -308,6 +345,19 @@ func FormatTest(test [][]logic.V) []string {
 		out[t] = string(b)
 	}
 	return out
+}
+
+// checkKnown rejects query parameters outside the endpoint's key set, so a
+// misspelled option fails the request instead of silently running with the
+// default (a remote ablation that quietly ignored no_early_stop would
+// report the wrong experiment).
+func checkKnown(q url.Values, known []string) error {
+	for key := range q {
+		if !slices.Contains(known, key) {
+			return fmt.Errorf("unknown query parameter %q", key)
+		}
+	}
+	return nil
 }
 
 // Query helpers: integers and bools with "absent = zero value" semantics,

@@ -247,6 +247,13 @@ func TestBadRequests(t *testing.T) {
 		{"bad mode", "POST", "/v1/atpg?mode=psychic", body, http.StatusBadRequest},
 		{"bad int", "POST", "/v1/learn?max_frames=many", body, http.StatusBadRequest},
 		{"bad bool", "POST", "/v1/atpg?compact=maybe", body, http.StatusBadRequest},
+		// Misspelled or unsupported parameters are rejected, not silently
+		// ignored: a remote ablation run that dropped no_early_stop would
+		// report the wrong experiment.
+		{"unknown learn param", "POST", "/v1/learn?no_earlystop=1", body, http.StatusBadRequest},
+		{"atpg param on learn", "POST", "/v1/learn?backtracks=30", body, http.StatusBadRequest},
+		{"unknown atpg param", "POST", "/v1/atpg?backtrack=30", body, http.StatusBadRequest},
+		{"unknown faultsim param", "POST", "/v1/faultsim?frame=12", body, http.StatusBadRequest},
 		{"wrong method", "GET", "/v1/learn", "", http.StatusMethodNotAllowed},
 		{"unknown path", "POST", "/v1/psychic", body, http.StatusNotFound},
 	} {
@@ -283,5 +290,16 @@ func TestLearnParamsAffectResult(t *testing.T) {
 	if full.Relations <= single.Relations {
 		t.Fatalf("multiple-node learning added nothing: full=%d single=%d",
 			full.Relations, single.Relations)
+	}
+
+	// The ablation parameters added for remote experiment parity ride the
+	// same fingerprint machinery: each selects its own artifact.
+	noEarly := post[LearnResponse](t, ts, "/v1/learn", LearnParams{NoEarlyStop: true}.Query(), body)
+	if noEarly.Cache != "miss" || noEarly.Fingerprint == full.Fingerprint {
+		t.Fatalf("no_early_stop shared the default artifact: %+v", noEarly)
+	}
+	frames := post[LearnResponse](t, ts, "/v1/learn", LearnParams{MaxFrames: 3}.Query(), body)
+	if frames.Cache != "miss" || frames.Fingerprint == full.Fingerprint {
+		t.Fatalf("max_frames shared the default artifact: %+v", frames)
 	}
 }

@@ -86,6 +86,15 @@ type Options struct {
 
 	// NoEarlyStop disables the repeated-state stopping rule (ablation).
 	NoEarlyStop bool
+
+	// NoFrameRecords, honored only by PackedEngine.RunScheduled, skips
+	// building the shared frame records: NumFrames, the conflict and
+	// early-stop masks, and CaptureLast frames stay valid, while Lane,
+	// Results and FramesAt see empty frames. The multiple-node learning
+	// sweep reads nothing but frame T, so it sets this to avoid paying for
+	// the 64-lane union records. Engine.Run ignores it — the scalar result
+	// is the frame records.
+	NoFrameRecords bool
 }
 
 // DefaultMaxFrames is the paper's frame cap for learning simulation.
@@ -197,28 +206,36 @@ func (e *Engine) CopyTies(src *Engine) {
 // are closed under forward constant propagation once, so chains of
 // tie-determined gates behave as constants in every later run.
 func (e *Engine) SetTies(ties map[netlist.NodeID]logic.V) {
-	for i := range e.tieVal {
-		e.tieVal[i] = logic.X
+	closeTies(e.c, ties, e.tieVal)
+}
+
+// closeTies writes the tie constants and their forward constant-propagation
+// closure into dst (indexed by node, X everywhere else). It is the one tie
+// installation routine shared by the scalar Engine and the packed scheduled
+// runner, so both read identical constants.
+func closeTies(c *netlist.Circuit, ties map[netlist.NodeID]logic.V, dst []logic.V) {
+	for i := range dst {
+		dst[i] = logic.X
 	}
 	for n, v := range ties {
-		e.tieVal[n] = v
+		dst[n] = v
 	}
 	if len(ties) == 0 {
 		return
 	}
 	var buf [16]logic.V
-	for _, id := range e.c.EvalOrder() {
-		if e.tieVal[id] != logic.X {
+	for _, id := range c.EvalOrder() {
+		if dst[id] != logic.X {
 			continue
 		}
-		fanin := e.c.Fanin(id)
+		fanin := c.Fanin(id)
 		vals := buf[:0]
 		if cap(vals) < len(fanin) {
 			vals = make([]logic.V, 0, len(fanin))
 		}
 		any := false
 		for _, p := range fanin {
-			v := e.tieVal[p.Node]
+			v := dst[p.Node]
 			if p.Inv {
 				v = v.Not()
 			}
@@ -230,7 +247,7 @@ func (e *Engine) SetTies(ties map[netlist.NodeID]logic.V) {
 		if !any {
 			continue
 		}
-		e.tieVal[id] = logic.EvalSlice(e.c.Nodes[id].Op, vals)
+		dst[id] = logic.EvalSlice(c.Nodes[id].Op, vals)
 	}
 }
 

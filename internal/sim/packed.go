@@ -31,16 +31,49 @@ type progGate struct {
 type prog struct {
 	gates []progGate
 	pins  []netlist.Pin
+
+	// pinSwap, indexed like pins, is ^0 for inverted pins and 0 otherwise:
+	// the scheduled sweep inverts a three-valued word branchlessly by
+	// XOR-swapping Ones and Zeros under this mask, instead of branching on
+	// Pin.Inv per fanin (about a quarter of the benchmark circuits' pins are
+	// inverted, so the branch is data-dependent and poorly predicted).
+	pinSwap []uint64
+
+	// gateOf maps a node to its index in gates (-1 for non-gates), so
+	// event-driven consumers (the scheduled packed runner) can mark a
+	// node's fanout gates dirty without a map lookup.
+	gateOf []int32
+
+	// foIdx/foList give each node its fanout gate indices as a span
+	// foList[foIdx[n]:foIdx[n+1]] — the netlist fanout lists filtered down
+	// to compiled gates once, so the scheduled runner's dirty marking is a
+	// branch-free contiguous scan.
+	foIdx  []int32
+	foList []int32
 }
 
 // compile builds the evaluation program for c.
 func compile(c *netlist.Circuit) *prog {
 	order := c.EvalOrder()
-	p := &prog{gates: make([]progGate, 0, len(order))}
+	p := &prog{
+		gates:  make([]progGate, 0, len(order)),
+		gateOf: make([]int32, c.NumNodes()),
+	}
+	for i := range p.gateOf {
+		p.gateOf[i] = -1
+	}
 	for _, id := range order {
 		fanin := c.Fanin(id)
 		lo := int32(len(p.pins))
 		p.pins = append(p.pins, fanin...)
+		for _, pin := range fanin {
+			var sw uint64
+			if pin.Inv {
+				sw = ^uint64(0)
+			}
+			p.pinSwap = append(p.pinSwap, sw)
+		}
+		p.gateOf[id] = int32(len(p.gates))
 		p.gates = append(p.gates, progGate{
 			node: id,
 			op:   c.Nodes[id].Op,
@@ -48,6 +81,16 @@ func compile(c *netlist.Circuit) *prog {
 			hi:   int32(len(p.pins)),
 		})
 	}
+	p.foIdx = make([]int32, c.NumNodes()+1)
+	for n := 0; n < c.NumNodes(); n++ {
+		p.foIdx[n] = int32(len(p.foList))
+		for _, out := range c.Fanouts(netlist.NodeID(n)) {
+			if gi := p.gateOf[out]; gi >= 0 {
+				p.foList = append(p.foList, gi)
+			}
+		}
+	}
+	p.foIdx[c.NumNodes()] = int32(len(p.foList))
 	return p
 }
 
@@ -106,6 +149,10 @@ type PackedEngine struct {
 	forced    []netlist.NodeID
 
 	piScratch []logic.PV // StepBroadcast scratch
+
+	// sched holds the scheduled-run machinery (RunScheduled), allocated on
+	// first use so the functional Step path pays nothing for it.
+	sched *packedSched
 }
 
 // NewPackedEngine returns a packed simulator for c with all-X state.
@@ -181,6 +228,9 @@ func (e *PackedEngine) ClearForces() {
 // (indexed like Circuit.PIs; nil means all X) and advances the state of
 // all 64 lanes.
 func (e *PackedEngine) Step(pis []logic.PV) {
+	if e.sched != nil {
+		e.sched.clean = false // scheduled runs must re-copy their baseline
+	}
 	// Sources.
 	for i := range e.values {
 		e.values[i] = logic.PX

@@ -200,6 +200,123 @@ func TestPackedEnginePerLaneInputs(t *testing.T) {
 	}
 }
 
+// TestPackedEngineForceOnStateNodes forces stuck values directly on latch
+// and flip-flop output nodes — the per-lane configuration fault batching
+// produces when a fault site is a sequential element — and checks every
+// lane against a FuncSim carrying the same fault.
+func TestPackedEngineForceOnStateNodes(t *testing.T) {
+	for _, seed := range []uint64{9, 57} {
+		c := randSeqCircuit(seed)
+		e := NewPackedEngine(c)
+		r := logic.NewRand64(seed ^ 0xbeef)
+
+		type laneFault struct {
+			node  netlist.NodeID
+			stuck logic.V
+		}
+		faults := make([]*laneFault, logic.W)
+		for lane := 0; lane < logic.W; lane++ {
+			if lane%5 == 4 {
+				continue // a few clean lanes in between
+			}
+			faults[lane] = &laneFault{
+				node:  c.Seqs[r.Intn(len(c.Seqs))],
+				stuck: logic.FromBool(r.Bool()),
+			}
+			e.Force(faults[lane].node, faults[lane].stuck, 1<<uint(lane))
+		}
+
+		refs := make([]*FuncSim, logic.W)
+		for lane := range refs {
+			refs[lane] = NewFuncSim(c)
+			refs[lane].Reset(nil)
+			if f := faults[lane]; f != nil {
+				refs[lane].SetFault(f.node, f.stuck)
+			}
+		}
+
+		e.Reset(nil)
+		var scratch []logic.V
+		for frame := 0; frame < 6; frame++ {
+			pis := make([]logic.V, len(c.PIs))
+			for i := range pis {
+				pis[i] = randV(r)
+			}
+			e.StepBroadcast(pis)
+			for lane := 0; lane < logic.W; lane++ {
+				refs[lane].Step(pis)
+				scratch = e.LaneValues(lane, scratch[:0])
+				for id := range c.Nodes {
+					if got, want := scratch[id], refs[lane].Value(netlist.NodeID(id)); got != want {
+						t.Fatalf("seed %d frame %d lane %d node %s: packed %s, scalar %s",
+							seed, frame, lane, c.NameOf(netlist.NodeID(id)), got, want)
+					}
+				}
+				scratch = e.LaneState(lane, scratch[:0])
+				for i, want := range refs[lane].State() {
+					if scratch[i] != want {
+						t.Fatalf("seed %d frame %d lane %d state %s: packed %s, scalar %s",
+							seed, frame, lane, c.NameOf(c.Seqs[i]), scratch[i], want)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestPackedEnginePerLaneInitialStates seeds each lane with a different
+// X-heavy initial state via Reset(init []logic.PV) — the learning batcher's
+// shape, where most state bits start unknown — and checks a sample of
+// lanes against FuncSims reset to the matching scalar state.
+func TestPackedEnginePerLaneInitialStates(t *testing.T) {
+	c := randSeqCircuit(33)
+	e := NewPackedEngine(c)
+	r := logic.NewRand64(0x5151)
+
+	laneStates := make([][]logic.V, logic.W)
+	init := make([]logic.PV, len(c.Seqs))
+	for lane := range laneStates {
+		st := make([]logic.V, len(c.Seqs))
+		for i := range st {
+			// X-heavy: roughly three quarters of the state bits unknown.
+			if r.Intn(4) == 0 {
+				st[i] = logic.FromBool(r.Bool())
+			} else {
+				st[i] = logic.X
+			}
+			init[i].Set(lane, st[i])
+		}
+		laneStates[lane] = st
+	}
+	e.Reset(init)
+
+	sample := []int{0, 3, 21, 42, 63}
+	refs := make(map[int]*FuncSim, len(sample))
+	for _, lane := range sample {
+		refs[lane] = NewFuncSim(c)
+		refs[lane].Reset(laneStates[lane])
+	}
+
+	var scratch []logic.V
+	for frame := 0; frame < 6; frame++ {
+		pis := make([]logic.V, len(c.PIs))
+		for i := range pis {
+			pis[i] = randV(r)
+		}
+		e.StepBroadcast(pis)
+		for _, lane := range sample {
+			refs[lane].Step(pis)
+			scratch = e.LaneValues(lane, scratch[:0])
+			for id := range c.Nodes {
+				if got, want := scratch[id], refs[lane].Value(netlist.NodeID(id)); got != want {
+					t.Fatalf("frame %d lane %d node %s: packed %s, scalar %s",
+						frame, lane, c.NameOf(netlist.NodeID(id)), got, want)
+				}
+			}
+		}
+	}
+}
+
 // TestPackedEngineForceAccumulation: two forces on one node in disjoint
 // lanes coexist, ClearForces removes both, and a clone starts clean.
 func TestPackedEngineForceAccumulation(t *testing.T) {

@@ -20,7 +20,9 @@ import (
 // file name all at once.
 //
 // Options that cannot change the learned relations are excluded:
-// Parallelism (sharded learning is bit-identical for every worker count)
+// Parallelism (sharded learning is bit-identical for every worker count),
+// DisablePacked and PackedLanes (the packed and scalar simulation routes
+// are bit-identical for every lane count — TestPackedLearningEquivalence),
 // and KeepRows (affects only the Table 1 row dump). Unset options are
 // folded to their effective defaults first, so an explicit
 // Options{MaxFrames: 50} and the zero value hash identically.
