@@ -12,6 +12,8 @@
 package main
 
 import (
+	"bytes"
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -19,8 +21,10 @@ import (
 	"net/http"
 	"os"
 	"runtime"
+	"strings"
 	"testing"
 
+	"repro/internal/bench"
 	"repro/internal/fault"
 	"repro/internal/gen"
 	"repro/internal/learn"
@@ -209,11 +213,14 @@ func runLearn(circuit string) (report, string) {
 		rep.Results[1].SpeedupVsScalar)
 }
 
-// runService records the snapshot-cache economics of the daemon: the same
-// learn and learn+ATPG requests against a cold cache (the learning run
-// executes) and a warm one (the frozen snapshot is served from the LRU),
-// measured end to end through HTTP on a loopback listener.
+// runService records the cache economics of the daemon: the same learn and
+// learn+ATPG requests against a cold cache (the run executes) and a warm
+// one (served from the LRU — for ATPG that now includes the whole test-set
+// artifact, not just the snapshot), plus the incremental-reuse path on a
+// mutated revision of the circuit, all measured end to end through HTTP on
+// a loopback listener.
 func runService(circuit string, maxFaults int) (report, string) {
+	ctx := context.Background()
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
@@ -229,7 +236,7 @@ func runService(circuit string, maxFaults int) (report, string) {
 		Mode: "forbidden", Backtracks: 30, MaxFaults: maxFaults,
 	}
 	mustLearn := func(cl *seqlearn.Client, wantCache string) *seqlearn.ServiceLearnResult {
-		res, err := cl.Learn(c, seqlearn.ServiceLearnParams{})
+		res, err := cl.Learn(ctx, c, seqlearn.ServiceLearnParams{})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "benchjson:", err)
 			os.Exit(1)
@@ -240,14 +247,14 @@ func runService(circuit string, maxFaults int) (report, string) {
 		}
 		return res
 	}
-	mustATPG := func(cl *seqlearn.Client, wantCache string) *seqlearn.ServiceATPGResult {
-		res, err := cl.GenerateTests(c, atpgParams)
+	mustATPG := func(cl *seqlearn.Client, c *seqlearn.Circuit, p seqlearn.ServiceATPGParams, wantTests string) *seqlearn.ServiceATPGResult {
+		res, err := cl.GenerateTests(ctx, c, p)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "benchjson:", err)
 			os.Exit(1)
 		}
-		if res.Cache != wantCache {
-			fmt.Fprintf(os.Stderr, "benchjson: atpg cache = %q, want %q\n", res.Cache, wantCache)
+		if res.TestsCache != wantTests {
+			fmt.Fprintf(os.Stderr, "benchjson: atpg tests cache = %q, want %q\n", res.TestsCache, wantTests)
 			os.Exit(1)
 		}
 		return res
@@ -271,7 +278,7 @@ func runService(circuit string, maxFaults int) (report, string) {
 		SpeedupVsCold: float64(coldLearn) / float64(warmLearn.NsPerOp()),
 	})
 
-	// Cold ATPG: a second daemon whose cache has never seen the circuit,
+	// Cold ATPG: a second daemon whose caches have never seen the circuit,
 	// so the request carries the learning run as well as the search.
 	ln2, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
@@ -279,15 +286,20 @@ func runService(circuit string, maxFaults int) (report, string) {
 		os.Exit(1)
 	}
 	defer ln2.Close()
-	go http.Serve(ln2, server.New(server.Config{}))
-	coldATPG := int64(mustATPG(seqlearn.NewClient("http://"+ln2.Addr().String()), "miss").ElapsedMS * 1e6)
+	srv2 := server.New(server.Config{})
+	go http.Serve(ln2, srv2)
+	cl2 := seqlearn.NewClient("http://" + ln2.Addr().String())
+	coldATPG := int64(mustATPG(cl2, c, atpgParams, "miss").ElapsedMS * 1e6)
 	rep.Results = append(rep.Results,
 		result{Name: "cold-atpg", NsPerOp: coldATPG, Iterations: 1})
 
-	// Warm ATPG: the search still runs, only the learning is amortized.
+	// Warm ATPG: the whole test-set artifact is served from the LRU —
+	// neither learning nor the PODEM search reruns. One priming request
+	// populates the first daemon's test-set cache.
+	mustATPG(cl, c, atpgParams, "miss")
 	warmATPG := testing.Benchmark(func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			mustATPG(cl, "hit")
+			mustATPG(cl, c, atpgParams, "hit")
 		}
 	})
 	rep.Results = append(rep.Results, result{
@@ -295,10 +307,56 @@ func runService(circuit string, maxFaults int) (report, string) {
 		SpeedupVsCold: float64(coldATPG) / float64(warmATPG.NsPerOp()),
 	})
 
-	return rep, fmt.Sprintf("%s: learn %s cold / %s warm (%.0fx), atpg %s cold / %s warm (%.1fx)",
+	// Incremental reuse: a one-gate revision of the circuit. From scratch
+	// (second daemon, no usable seed) PODEM visits the full residual fault
+	// list; with reuse=auto (first daemon, which holds the base circuit's
+	// artifact) the cached tests are replayed first and PODEM only sees
+	// what replay left undetected.
+	mc := mutate(c)
+	coldMut := int64(mustATPG(cl2, mc, atpgParams, "miss").ElapsedMS * 1e6)
+	rep.Results = append(rep.Results,
+		result{Name: "cold-atpg-mutated", NsPerOp: coldMut, Iterations: 1})
+
+	reuseParams := atpgParams
+	reuseParams.Reuse = "auto"
+	incr := mustATPG(cl, mc, reuseParams, "miss")
+	if incr.ReuseFingerprint == "" {
+		fmt.Fprintln(os.Stderr, "benchjson: incremental atpg found no seed artifact")
+		os.Exit(1)
+	}
+	incrNs := int64(incr.ElapsedMS * 1e6)
+	rep.Results = append(rep.Results, result{
+		Name: "incremental-atpg", NsPerOp: incrNs, Iterations: 1,
+		SpeedupVsCold: float64(coldMut) / float64(incrNs),
+	})
+
+	return rep, fmt.Sprintf("%s: learn %s cold / %s warm (%.0fx), atpg %s cold / %s warm (%.0fx), incremental %s vs %s scratch (podem on %d of %d faults)",
 		circuit,
 		fmtNs(rep.Results[0].NsPerOp), fmtNs(rep.Results[1].NsPerOp), rep.Results[1].SpeedupVsCold,
-		fmtNs(rep.Results[2].NsPerOp), fmtNs(rep.Results[3].NsPerOp), rep.Results[3].SpeedupVsCold)
+		fmtNs(rep.Results[2].NsPerOp), fmtNs(rep.Results[3].NsPerOp), rep.Results[3].SpeedupVsCold,
+		fmtNs(incrNs), fmtNs(coldMut), incr.PodemFaults, incr.Total)
+}
+
+// mutate returns the circuit with its first AND gate rewritten to a NAND —
+// the stand-in for a small engineering revision of a netlist whose previous
+// test set is still mostly valid.
+func mutate(c *seqlearn.Circuit) *seqlearn.Circuit {
+	var buf bytes.Buffer
+	if err := bench.Write(&buf, c); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	text := strings.Replace(buf.String(), " = AND(", " = NAND(", 1)
+	if text == buf.String() {
+		fmt.Fprintf(os.Stderr, "benchjson: circuit %s has no AND gate to mutate\n", c.Name)
+		os.Exit(1)
+	}
+	mc, err := bench.Parse(c.Name+"-eco", strings.NewReader(text))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	return mc
 }
 
 func fmtNs(ns int64) string {

@@ -12,9 +12,12 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"repro/internal/atpg"
 	"repro/internal/bench"
@@ -36,6 +39,7 @@ func main() {
 		workers   = flag.Int("workers", 0, "parallel workers for learning, fault simulation and the PODEM driver (0 = one per core, 1 = serial; results identical)")
 		compact   = flag.Bool("compact", false, "drop redundant tests by reverse-order fault simulation after generation")
 		remote    = flag.String("remote", "", "run against a seqlearnd daemon at this base URL instead of in-process")
+		reuse     = flag.String("reuse", "", "with -remote: seed from a cached test set (\"auto\" or a tests fingerprint) and run PODEM only on the residue")
 	)
 	flag.IntVar(workers, "j", 0, "alias for -workers")
 	flag.Parse()
@@ -46,11 +50,15 @@ func main() {
 		os.Exit(1)
 	}
 	if *remote != "" {
-		if err := runRemote(*remote, c, *mode, *limit, *maxFaults, *maxWin, *workers, *compact); err != nil {
+		if err := runRemote(*remote, c, *mode, *reuse, *limit, *maxFaults, *maxWin, *workers, *compact); err != nil {
 			fmt.Fprintln(os.Stderr, "seqatpg:", err)
 			os.Exit(1)
 		}
 		return
+	}
+	if *reuse != "" {
+		fmt.Fprintln(os.Stderr, "seqatpg: -reuse needs -remote (the test-set cache lives in the daemon)")
+		os.Exit(1)
 	}
 	var m atpg.Mode
 	switch *mode {
@@ -107,11 +115,15 @@ func main() {
 }
 
 // runRemote sends the circuit to a seqlearnd daemon, which resolves the
-// learned snapshot through its cache and runs the same ATPG driver; counts
-// are bit-identical to the in-process path with the same options.
-func runRemote(base string, c *netlist.Circuit, mode string, limit, maxFaults, maxWin, workers int, compact bool) error {
+// learned snapshot and the test-set artifact through its caches and runs
+// the same ATPG driver; counts are bit-identical to the in-process path
+// with the same options. Ctrl-C cancels the request, which tells the
+// daemon to stop at the next fault boundary.
+func runRemote(base string, c *netlist.Circuit, mode, reuse string, limit, maxFaults, maxWin, workers int, compact bool) error {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 	cl := seqlearn.NewClient(base)
-	res, err := cl.GenerateTests(c, seqlearn.ServiceATPGParams{
+	res, err := cl.GenerateTests(ctx, c, seqlearn.ServiceATPGParams{
 		Learn:      seqlearn.ServiceLearnParams{Workers: workers},
 		Mode:       mode,
 		Backtracks: limit,
@@ -119,15 +131,24 @@ func runRemote(base string, c *netlist.Circuit, mode string, limit, maxFaults, m
 		MaxWindow:  maxWin,
 		Workers:    workers,
 		Compact:    compact,
+		Reuse:      reuse,
 	})
 	if err != nil {
 		return err
 	}
-	fmt.Printf("%s via %s: cache=%s mode=%s backtrack-limit=%d\n", c.Name, base, res.Cache, mode, limit)
+	fmt.Printf("%s via %s: cache=%s tests-cache=%s mode=%s backtrack-limit=%d\n",
+		c.Name, base, res.Cache, res.TestsCache, mode, limit)
 	fmt.Printf("faults=%d detected=%d untestable=%d aborted=%d\n",
 		res.Total, res.Detected, res.Untestable, res.Aborted)
 	fmt.Printf("coverage=%.2f%% test-coverage=%.2f%% tests=%d backtracks=%d served in %.1fms\n",
 		100*res.Coverage, 100*res.TestCoverage, res.Tests, res.Backtracks, res.ElapsedMS)
+	if res.ReuseFingerprint != "" {
+		fmt.Printf("reused %d tests from %s (%d faults detected by replay, %d left for PODEM)\n",
+			res.ReusedTests, res.ReuseFingerprint[:12], res.SeedDetected, res.PodemFaults)
+		if res.ReuseDiff != "" {
+			fmt.Printf("diff vs seed circuit: %s\n", res.ReuseDiff)
+		}
+	}
 	if compact {
 		fmt.Printf("compaction dropped %d redundant tests\n", res.TestsCompacted)
 	}

@@ -11,9 +11,12 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"repro/internal/bench"
 	"repro/internal/circuits"
@@ -82,9 +85,12 @@ func main() {
 
 // runRemote sends the circuit to a seqlearnd daemon and prints the served
 // summary, including whether the daemon's snapshot cache already held it.
+// Ctrl-C cancels the request, which tells the daemon to stop computing.
 func runRemote(base string, c *netlist.Circuit, params seqlearn.ServiceLearnParams) error {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 	cl := seqlearn.NewClient(base)
-	res, err := cl.Learn(c, params)
+	res, err := cl.Learn(ctx, c, params)
 	if err != nil {
 		return err
 	}

@@ -14,18 +14,24 @@
 // Endpoints (see internal/server):
 //
 //	POST /v1/learn?[max_frames=|single_only=1|skip_comb=1|workers=]
-//	POST /v1/atpg?[mode=|backtracks=|max_faults=|max_window=|atpg_workers=|compact=1|include_tests=1]
+//	POST /v1/atpg?[mode=|backtracks=|max_faults=|max_window=|atpg_workers=|compact=1|include_tests=1|reuse=]
 //	POST /v1/faultsim?[frames=|seed=|workers=]
 //	GET  /healthz
 //	GET  /v1/stats
 package main
 
 import (
+	"context"
+	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"net"
 	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
+	"time"
 
 	"repro/internal/bench"
 	"repro/internal/circuits"
@@ -42,6 +48,7 @@ func main() {
 		cacheSize   = flag.Int("cache-entries", 64, "in-memory snapshot LRU capacity")
 		pool        = flag.Int("pool", server.DefaultPool(), "max compute requests in flight; excess requests queue")
 		maxBodyMB   = flag.Int64("max-body-mb", 64, "largest accepted netlist in MiB")
+		drain       = flag.Duration("drain", 30*time.Second, "on SIGINT/SIGTERM, wait up to this long for in-flight requests before exiting")
 		dumpCircuit = flag.String("dump-circuit", "", "print a built-in circuit (figure1, figure2 or a suite name) as .bench and exit")
 	)
 	flag.Parse()
@@ -78,9 +85,40 @@ func main() {
 	}
 	fmt.Println(")")
 
-	if err := http.Serve(ln, srv); err != nil {
+	// A configured http.Server (not bare http.Serve): a header-read timeout
+	// so an idle half-open connection cannot pin a goroutine forever, and a
+	// Shutdown path so SIGINT/SIGTERM drains in-flight requests instead of
+	// dropping them mid-computation.
+	hs := &http.Server{
+		Handler:           srv,
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
+
+	select {
+	case err := <-errc:
 		fmt.Fprintln(os.Stderr, "seqlearnd:", err)
 		os.Exit(1)
+	case <-ctx.Done():
+	}
+	stop() // a second signal during the drain kills the process the default way
+
+	fmt.Printf("seqlearnd: shutting down (draining for up to %v)\n", *drain)
+	sctx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := hs.Shutdown(sctx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fmt.Fprintln(os.Stderr, "seqlearnd: drain incomplete:", err)
+	}
+	<-errc // Serve has returned ErrServerClosed by now
+
+	// Final counters: what this process served and what its caches held.
+	report, err := json.MarshalIndent(srv.StatsSnapshot(), "", "  ")
+	if err == nil {
+		fmt.Printf("seqlearnd: final stats:\n%s\n", report)
 	}
 }
 

@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"net"
 	"net/http"
@@ -18,6 +19,7 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "service:", err)
@@ -31,7 +33,7 @@ func main() {
 	c := seqlearn.Benchmark("s953")
 
 	for i := 1; i <= 2; i++ {
-		res, err := cl.Learn(c, seqlearn.ServiceLearnParams{})
+		res, err := cl.Learn(ctx, c, seqlearn.ServiceLearnParams{})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "service:", err)
 			os.Exit(1)
@@ -41,21 +43,26 @@ func main() {
 			res.CombTies, res.SeqTies, res.ElapsedMS)
 	}
 
-	at, err := cl.GenerateTests(c, seqlearn.ServiceATPGParams{
-		Mode: "forbidden", Backtracks: 30, MaxFaults: 200,
-	})
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "service:", err)
-		os.Exit(1)
+	// The ATPG result itself is content-addressed too: the first request
+	// runs PODEM, the second is served whole from the test-set cache.
+	for i := 1; i <= 2; i++ {
+		at, err := cl.GenerateTests(ctx, c, seqlearn.ServiceATPGParams{
+			Mode: "forbidden", Backtracks: 30, MaxFaults: 200,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "service:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("atpg #%d: cache=%-4s tests-cache=%-4s faults=%d detected=%d untestable=%d aborted=%d tests=%d in %.1fms\n",
+			i, at.Cache, at.TestsCache, at.Total, at.Detected, at.Untestable, at.Aborted, at.Tests, at.ElapsedMS)
 	}
-	fmt.Printf("\natpg: cache=%s faults=%d detected=%d untestable=%d aborted=%d tests=%d in %.1fms\n",
-		at.Cache, at.Total, at.Detected, at.Untestable, at.Aborted, at.Tests, at.ElapsedMS)
 
-	stats, err := cl.Stats()
+	stats, err := cl.Stats(ctx)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "service:", err)
 		os.Exit(1)
 	}
-	fmt.Printf("\ndaemon stats: learns=%d hits=%d misses=%d entries=%d\n",
-		stats.Cache.Learns, stats.Cache.Hits, stats.Cache.Misses, stats.Cache.Entries)
+	fmt.Printf("\ndaemon stats: learns=%d hits=%d misses=%d entries=%d atpg-runs=%d atpg-hits=%d\n",
+		stats.Cache.Learns, stats.Cache.Hits, stats.Cache.Misses, stats.Cache.Entries,
+		stats.Cache.ATPGRuns, stats.Cache.ATPGHits)
 }

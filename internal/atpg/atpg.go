@@ -102,6 +102,15 @@ func (o *Options) defaults() {
 	}
 }
 
+// Normalized returns the options with unset fields folded to their
+// effective defaults — the form the content-addressed store hashes, so an
+// explicit Options{BacktrackLimit: 30} and the zero value share a cache
+// key.
+func (o Options) Normalized() Options {
+	o.defaults()
+	return o
+}
+
 // Outcome classifies the result of Generate.
 type Outcome int
 

@@ -44,6 +44,47 @@ type RunOptions struct {
 	// on the packed fault simulator and is deterministic, so serial and
 	// parallel runs still emit identical test sets.
 	CompactTests bool
+
+	// SeedTests is a test set from an earlier run (typically a cached run
+	// on a previous revision of the circuit) replayed through the packed
+	// fault simulator before any PODEM search. Each seed sequence is kept
+	// iff it detects at least one remaining fault; PODEM then targets only
+	// the residue — the incremental regression-ATPG path. Replay happens
+	// serially before the driver starts, so results stay bit-identical for
+	// any Parallelism.
+	SeedTests [][][]logic.V
+
+	// Cancel, when non-nil, aborts the run cooperatively: it is checked at
+	// per-fault boundaries in the seed replay, the serial loop and the
+	// parallel coordinator/workers. A cancelled run returns the partial
+	// result with Canceled set; at most one in-flight PODEM search per
+	// worker finishes after the channel closes.
+	Cancel <-chan struct{}
+}
+
+// FaultStatus is the final per-fault classification of a run.
+type FaultStatus uint8
+
+// Per-fault classifications. StatusPending appears only in cancelled runs.
+const (
+	StatusPending    FaultStatus = iota // unresolved (cancelled before reached)
+	StatusDetected                      // a test detects it
+	StatusUntestable                    // proven (bounded) untestable
+	StatusAborted                       // backtrack limit exceeded
+)
+
+// String returns "pending", "detected", "untestable" or "aborted".
+func (s FaultStatus) String() string {
+	switch s {
+	case StatusDetected:
+		return "detected"
+	case StatusUntestable:
+		return "untestable"
+	case StatusAborted:
+		return "aborted"
+	default:
+		return "pending"
+	}
 }
 
 // RunResult summarizes a test-generation run — one cell group of the
@@ -71,6 +112,26 @@ type RunResult struct {
 	// TestsCompacted counts tests removed by the reverse-order compaction
 	// pass (0 unless RunOptions.CompactTests).
 	TestsCompacted int
+
+	// Faults is the effective target list (after MaxFaults truncation);
+	// Status aligns with it and records each fault's final classification.
+	Faults []fault.Fault
+	Status []FaultStatus
+
+	// SeedTestsKept counts seed sequences that detected at least one fault
+	// and were therefore kept in Tests; SeedDetected counts the faults
+	// they detected (both 0 unless RunOptions.SeedTests).
+	SeedTestsKept int
+	SeedDetected  int
+
+	// PodemTargets counts the faults actually handed to the PODEM search —
+	// the residue after pre-untestable classification, fault dropping and
+	// seed-test replay. The incremental-reuse acceptance metric.
+	PodemTargets int
+
+	// Canceled reports a cooperative abort via RunOptions.Cancel; counts
+	// and tests cover only the prefix processed before the abort.
+	Canceled bool
 }
 
 // Coverage returns detected / total.
@@ -114,13 +175,21 @@ func Run(c *netlist.Circuit, opt RunOptions) RunResult {
 
 	workers := sim.ClampWorkers(opt.Parallelism)
 	st := newRunState(c, opt, faults, workers)
-	if workers > 1 {
-		st.runParallel(workers)
-	} else {
-		st.runSerial()
+	st.replaySeeds()
+	if !st.res.Canceled {
+		if workers > 1 {
+			st.runParallel(workers)
+		} else {
+			st.runSerial()
+		}
 	}
-	if opt.CompactTests {
+	if opt.CompactTests && !st.res.Canceled {
 		st.compactTests()
+	}
+	st.res.Faults = faults
+	st.res.Status = make([]FaultStatus, len(faults))
+	for i := range faults {
+		st.res.Status[i] = st.status[st.slot[i]]
 	}
 	st.res.Duration = time.Since(start)
 	return st.res
@@ -139,6 +208,7 @@ type runState struct {
 	// of the original map-keyed implementation.
 	slot    []int
 	dropped []atomic.Bool // per slot; written only in canonical order
+	status  []FaultStatus // per slot; written only in canonical order
 
 	fsim *fault.PackedSim   // packed detection backend when serial
 	psim *fault.ParallelSim // batched detection backend when parallel
@@ -172,6 +242,7 @@ func newRunState(c *netlist.Circuit, opt RunOptions, faults []fault.Fault, worke
 		st.slot[i] = s
 	}
 	st.dropped = make([]atomic.Bool, len(slots))
+	st.status = make([]FaultStatus, len(slots))
 	if workers > 1 {
 		st.psim = fault.NewParallelSim(c, workers)
 	} else {
@@ -186,11 +257,66 @@ func newRunState(c *netlist.Circuit, opt RunOptions, faults []fault.Fault, worke
 		for i, f := range faults {
 			if pre[f] && !st.dropped[st.slot[i]].Load() {
 				st.dropped[st.slot[i]].Store(true)
+				st.status[st.slot[i]] = StatusUntestable
 				st.res.Untestable++
 			}
 		}
 	}
 	return st
+}
+
+// canceled polls the cooperative abort channel (never fires when nil).
+func (st *runState) canceled() bool {
+	select {
+	case <-st.opt.Cancel:
+		return true
+	default:
+		return false
+	}
+}
+
+// replaySeeds fault-simulates the seed test set against the remaining
+// faults before any search: each sequence that detects something new is
+// kept as an emitted test (its target recorded as the first fault it
+// detects) and everything it detects is dropped, so PODEM targets only the
+// residue. Runs serially before the driver, preserving parallel/serial
+// bit-identity.
+func (st *runState) replaySeeds() {
+	for _, test := range st.opt.SeedTests {
+		if st.canceled() {
+			st.res.Canceled = true
+			return
+		}
+		st.rem = st.rem[:0]
+		st.remFaults = st.remFaults[:0]
+		for p := range st.faults {
+			if !st.dropped[st.slot[p]].Load() {
+				st.rem = append(st.rem, p)
+				st.remFaults = append(st.remFaults, st.faults[p])
+			}
+		}
+		if len(st.rem) == 0 {
+			return
+		}
+		dets := st.detect(test, st.remFaults)
+		kept := false
+		for k, p := range st.rem {
+			if !dets[k].Detected || st.dropped[st.slot[p]].Load() {
+				continue
+			}
+			if !kept {
+				kept = true
+				st.res.Tests = append(st.res.Tests, test)
+				st.res.TestTargets = append(st.res.TestTargets, st.faults[p])
+				st.res.SeedTestsKept++
+			}
+			st.dropped[st.slot[p]].Store(true)
+			st.status[st.slot[p]] = StatusDetected
+			st.res.Detected++
+			st.res.SeedDetected++
+			st.detected = append(st.detected, st.faults[p])
+		}
+	}
 }
 
 // genOptions derives the per-fault generation options; the fill seed is a
@@ -224,14 +350,17 @@ func (st *runState) detect(test [][]logic.V, faults []fault.Fault) []fault.Detec
 // run. It must be called in increasing position order with i undropped —
 // the single accounting path for both drivers.
 func (st *runState) process(i int, g Result) {
+	st.res.PodemTargets++
 	st.res.Backtracks += g.Backtracks
 	switch g.Outcome {
 	case Untestable:
 		st.res.Untestable++
 		st.dropped[st.slot[i]].Store(true)
+		st.status[st.slot[i]] = StatusUntestable
 	case Aborted:
 		st.res.Aborted++
 		st.dropped[st.slot[i]].Store(true) // do not retarget
+		st.status[st.slot[i]] = StatusAborted
 	case Detected:
 		// Collect the remaining (undropped) positions; i is among them.
 		st.rem = st.rem[:0]
@@ -254,6 +383,7 @@ func (st *runState) process(i int, g Result) {
 			st.res.VerifyFailures++
 			st.res.Aborted++
 			st.dropped[st.slot[i]].Store(true)
+			st.status[st.slot[i]] = StatusAborted
 			return
 		}
 		st.res.Tests = append(st.res.Tests, g.Test)
@@ -265,6 +395,7 @@ func (st *runState) process(i int, g Result) {
 				continue
 			}
 			st.dropped[st.slot[p]].Store(true)
+			st.status[st.slot[p]] = StatusDetected
 			st.res.Detected++
 			st.detected = append(st.detected, st.faults[p])
 		}
@@ -311,9 +442,13 @@ func (st *runState) compactTests() {
 }
 
 // runSerial is the classic driver loop: one PODEM search at a time, in
-// fault order.
+// fault order, with a cancellation check at every fault boundary.
 func (st *runState) runSerial() {
 	for i := range st.faults {
+		if st.canceled() {
+			st.res.Canceled = true
+			return
+		}
 		if st.dropped[st.slot[i]].Load() {
 			continue
 		}

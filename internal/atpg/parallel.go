@@ -53,6 +53,10 @@ func speculationWindow(workers int) int {
 }
 
 // runParallel executes the batch driver with the given worker count.
+// Cancellation (RunOptions.Cancel) is observed at fault boundaries: a
+// watcher flips the stopped flag, workers refuse new claims and the
+// coordinator abandons the merge; at most one in-flight Generate per
+// worker completes after the flag is set.
 func (st *runState) runParallel(workers int) {
 	n := len(st.faults)
 	if n == 0 {
@@ -66,6 +70,22 @@ func (st *runState) runParallel(workers int) {
 	frontier := 0 // guarded by mu: lowest position the coordinator has not finished
 	window := speculationWindow(workers)
 
+	var stopped atomic.Bool
+	if st.opt.Cancel != nil {
+		watcherDone := make(chan struct{})
+		defer close(watcherDone)
+		go func() {
+			select {
+			case <-st.opt.Cancel:
+				stopped.Store(true)
+				mu.Lock()
+				cond.Broadcast() // wake waiters so they observe the flag
+				mu.Unlock()
+			case <-watcherDone:
+			}
+		}()
+	}
+
 	var next atomic.Int64
 	var wg sync.WaitGroup
 	wg.Add(workers)
@@ -73,6 +93,9 @@ func (st *runState) runParallel(workers int) {
 		go func() {
 			defer wg.Done()
 			for {
+				if stopped.Load() {
+					return
+				}
 				i := int(next.Add(1)) - 1
 				if i >= n {
 					return
@@ -89,10 +112,13 @@ func (st *runState) runParallel(workers int) {
 				// the coordinator may have dropped the slot while we
 				// waited.
 				mu.Lock()
-				for i >= frontier+window {
+				for i >= frontier+window && !stopped.Load() {
 					cond.Wait()
 				}
 				mu.Unlock()
+				if stopped.Load() {
+					return
+				}
 				if st.dropped[st.slot[i]].Load() {
 					mu.Lock()
 					state[i] = genSkipped
@@ -111,10 +137,20 @@ func (st *runState) runParallel(workers int) {
 	}
 
 	for i := 0; i < n; i++ {
+		if stopped.Load() {
+			st.res.Canceled = true
+			break
+		}
 		if !st.dropped[st.slot[i]].Load() {
 			mu.Lock()
-			for state[i] == genPending {
+			for state[i] == genPending && !stopped.Load() {
 				cond.Wait()
+			}
+			if state[i] == genPending {
+				// Cancelled while waiting for this position's result.
+				mu.Unlock()
+				st.res.Canceled = true
+				break
 			}
 			s, g := state[i], results[i]
 			results[i] = Result{} // read exactly once: release the test early
@@ -134,5 +170,11 @@ func (st *runState) runParallel(workers int) {
 		cond.Broadcast()
 		mu.Unlock()
 	}
+	// Release every worker still waiting on the speculation window (normal
+	// completion leaves frontier == n already; the cancelled path does not).
+	mu.Lock()
+	frontier = n
+	cond.Broadcast()
+	mu.Unlock()
 	wg.Wait()
 }

@@ -100,6 +100,14 @@ type ATPGParams struct {
 	Compact      bool   // reverse-order test-set compaction
 	FillSeed     uint64 // random-fill seed (default 0x7e57)
 	IncludeTests bool   // return the test vectors themselves
+
+	// Reuse selects incremental test-set reuse when the exact cache key
+	// misses: "" (off), "auto" (seed from the most recent cached test set
+	// with a matching primary-input signature) or an explicit
+	// tests_fingerprint from an earlier response. The cached tests are
+	// replayed through the packed fault simulator and PODEM targets only
+	// the residue.
+	Reuse string
 }
 
 // atpgMode parses the wire mode name.
@@ -171,6 +179,9 @@ func (p ATPGParams) Query() url.Values {
 		q.Set("fill_seed", strconv.FormatUint(p.FillSeed, 10))
 	}
 	setBool(q, "include_tests", p.IncludeTests)
+	if p.Reuse != "" {
+		q.Set("reuse", p.Reuse)
+	}
 	return q
 }
 
@@ -178,7 +189,7 @@ func (p ATPGParams) Query() url.Values {
 // (the snapshot is resolved through the same cache) plus its own.
 var atpgQueryKeys = append([]string{
 	"mode", "backtracks", "max_faults", "max_window", "atpg_workers",
-	"compact", "fill_seed", "include_tests",
+	"compact", "fill_seed", "include_tests", "reuse",
 }, learnQueryKeys...)
 
 func atpgParamsFromQuery(q url.Values) (ATPGParams, error) {
@@ -212,8 +223,11 @@ func atpgParamsFromQuery(q url.Values) (ATPGParams, error) {
 	if p.FillSeed, err = getUint(q, "fill_seed"); err != nil {
 		return p, err
 	}
-	p.IncludeTests, err = getBool(q, "include_tests")
-	return p, err
+	if p.IncludeTests, err = getBool(q, "include_tests"); err != nil {
+		return p, err
+	}
+	p.Reuse = q.Get("reuse")
+	return p, nil
 }
 
 // FaultSimParams configures a fault-simulation request: the collapsed
@@ -280,11 +294,30 @@ type ATPGResponse struct {
 	Fingerprint string `json:"fingerprint"`
 	Cache       string `json:"cache"`
 
+	// TestsFingerprint is the content address of the test-set artifact
+	// (pass it back as reuse= to seed an incremental run on a changed
+	// netlist); TestsCache reports how it was obtained ("hit",
+	// "coalesced", "disk" or "miss" — a run executed).
+	TestsFingerprint string `json:"tests_fingerprint"`
+	TestsCache       string `json:"tests_cache"`
+
 	Total      int `json:"total"`
 	Detected   int `json:"detected"`
 	Untestable int `json:"untestable"`
 	Aborted    int `json:"aborted"`
 	Backtracks int `json:"backtracks"`
+
+	// PodemFaults counts faults the PODEM search actually targeted;
+	// ReusedTests counts seed tests kept by the incremental replay and
+	// SeedDetected the faults they covered (0 without reuse).
+	// ReuseFingerprint/ReuseDiff identify the seed artifact and the first
+	// structural difference against its circuit when a seeded run
+	// executed.
+	PodemFaults      int    `json:"podem_faults"`
+	ReusedTests      int    `json:"reused_tests,omitempty"`
+	SeedDetected     int    `json:"seed_detected,omitempty"`
+	ReuseFingerprint string `json:"reuse_fingerprint,omitempty"`
+	ReuseDiff        string `json:"reuse_diff,omitempty"`
 
 	Coverage     float64 `json:"coverage"`
 	TestCoverage float64 `json:"test_coverage"`
@@ -316,10 +349,13 @@ type StatsResponse struct {
 	UptimeMS float64     `json:"uptime_ms"`
 	Cache    store.Stats `json:"cache"`
 	// InFlight counts compute requests currently holding a worker-pool
-	// slot; Queued counts requests waiting for one.
-	InFlight int64            `json:"in_flight"`
-	Queued   int64            `json:"queued"`
-	Served   map[string]int64 `json:"served"`
+	// slot; Queued counts requests waiting for one; Abandoned counts
+	// requests whose client disconnected mid-run (the run stopped at the
+	// next fault boundary and the slot was released).
+	InFlight  int64            `json:"in_flight"`
+	Queued    int64            `json:"queued"`
+	Abandoned int64            `json:"abandoned"`
+	Served    map[string]int64 `json:"served"`
 }
 
 // HealthResponse is the JSON answer of GET /healthz.

@@ -21,13 +21,13 @@ package server
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"runtime"
 	"sync/atomic"
 	"time"
 
-	"repro/internal/atpg"
 	"repro/internal/bench"
 	"repro/internal/fault"
 	"repro/internal/logic"
@@ -70,9 +70,10 @@ type Server struct {
 	mux   *http.ServeMux
 	start time.Time
 
-	inFlight atomic.Int64
-	queued   atomic.Int64
-	served   map[string]*atomic.Int64
+	inFlight  atomic.Int64
+	queued    atomic.Int64
+	abandoned atomic.Int64
+	served    map[string]*atomic.Int64
 }
 
 // New returns a server ready to be attached to an http.Server.
@@ -118,6 +119,7 @@ func (s *Server) acquire(w http.ResponseWriter, r *http.Request) (func(), bool) 
 			<-s.sem
 		}, true
 	case <-r.Context().Done():
+		s.abandoned.Add(1)
 		s.writeError(w, http.StatusServiceUnavailable, fmt.Errorf("request abandoned while queued"))
 		return nil, false
 	}
@@ -206,26 +208,53 @@ func (s *Server) handleATPG(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	// Run against the artifact's canonical circuit instance: the snapshot's
-	// node ids refer to it, and on cache hits it replaces this request's
-	// structurally identical parse.
-	res := atpg.Run(art.Circuit, opt)
+	// A client that disconnects mid-run must not keep the daemon
+	// computing: the request context feeds the driver's cooperative
+	// cancellation, checked at every fault boundary.
+	opt.Cancel = r.Context().Done()
+	// Resolve through the test-set cache against the artifact's canonical
+	// circuit instance: the snapshot's node ids refer to it, and on cache
+	// hits it replaces this request's structurally identical parse.
+	tart, tsrc, reuse, err := s.store.ATPG(store.ATPGRequest{
+		Artifact: art,
+		Options:  opt,
+		Reuse:    params.Reuse,
+	})
+	if err != nil {
+		if errors.Is(err, store.ErrCanceled) {
+			s.abandoned.Add(1)
+			s.writeError(w, http.StatusServiceUnavailable, fmt.Errorf("request abandoned mid-run"))
+			return
+		}
+		s.writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	res := &tart.Result
 	s.served["atpg"].Add(1)
 	resp := ATPGResponse{
-		Circuit:        c.Name,
-		Fingerprint:    art.Fingerprint,
-		Cache:          src.String(),
-		Total:          res.Total,
-		Detected:       res.Detected,
-		Untestable:     res.Untestable,
-		Aborted:        res.Aborted,
-		Backtracks:     res.Backtracks,
-		Coverage:       res.Coverage(),
-		TestCoverage:   res.TestCoverage(),
-		Tests:          len(res.Tests),
-		TestsCompacted: res.TestsCompacted,
-		VerifyFailures: res.VerifyFailures,
-		ElapsedMS:      ms(time.Since(start)),
+		Circuit:          c.Name,
+		Fingerprint:      art.Fingerprint,
+		Cache:            src.String(),
+		TestsFingerprint: tart.Fingerprint,
+		TestsCache:       tsrc.String(),
+		Total:            res.Total,
+		Detected:         res.Detected,
+		Untestable:       res.Untestable,
+		Aborted:          res.Aborted,
+		Backtracks:       res.Backtracks,
+		Coverage:         res.Coverage(),
+		TestCoverage:     res.TestCoverage(),
+		Tests:            len(res.Tests),
+		TestsCompacted:   res.TestsCompacted,
+		VerifyFailures:   res.VerifyFailures,
+		PodemFaults:      res.PodemTargets,
+		ReusedTests:      res.SeedTestsKept,
+		SeedDetected:     res.SeedDetected,
+		ElapsedMS:        ms(time.Since(start)),
+	}
+	if reuse != nil {
+		resp.ReuseFingerprint = reuse.Fingerprint
+		resp.ReuseDiff = reuse.Diff
 	}
 	if params.IncludeTests {
 		resp.TestVectors = make([][]string, len(res.Tests))
@@ -298,18 +327,25 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	s.writeJSON(w, HealthResponse{Status: "ok", UptimeMS: ms(time.Since(s.start))})
 }
 
-func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+// StatsSnapshot returns the same counters /v1/stats serves; cmd/seqlearnd
+// prints it as the shutdown report.
+func (s *Server) StatsSnapshot() StatsResponse {
 	served := make(map[string]int64, len(s.served))
 	for k, v := range s.served {
 		served[k] = v.Load()
 	}
-	s.writeJSON(w, StatsResponse{
-		UptimeMS: ms(time.Since(s.start)),
-		Cache:    s.store.Stats(),
-		InFlight: s.inFlight.Load(),
-		Queued:   s.queued.Load(),
-		Served:   served,
-	})
+	return StatsResponse{
+		UptimeMS:  ms(time.Since(s.start)),
+		Cache:     s.store.Stats(),
+		InFlight:  s.inFlight.Load(),
+		Queued:    s.queued.Load(),
+		Abandoned: s.abandoned.Load(),
+		Served:    served,
+	}
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	s.writeJSON(w, s.StatsSnapshot())
 }
 
 func (s *Server) writeJSON(w http.ResponseWriter, v any) {

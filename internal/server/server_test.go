@@ -1,6 +1,7 @@
 package server
 
 import (
+	"context"
 	"encoding/json"
 	"io"
 	"net/http"
@@ -10,6 +11,7 @@ import (
 	"strings"
 	"sync"
 	"testing"
+	"time"
 
 	"repro/internal/atpg"
 	"repro/internal/bench"
@@ -269,6 +271,145 @@ func TestBadRequests(t *testing.T) {
 		if resp.StatusCode != tc.wantCode {
 			t.Errorf("%s: status %d, want %d", tc.name, resp.StatusCode, tc.wantCode)
 		}
+	}
+}
+
+// TestATPGTestsCacheServesIdenticalResult: a repeat ATPG request must be
+// served whole from the test-set cache — same counts, same vectors, no
+// second PODEM run.
+func TestATPGTestsCacheServesIdenticalResult(t *testing.T) {
+	srv := New(Config{})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	body := benchText(t, gen.MustBuild("s953"))
+	params := ATPGParams{
+		Mode:         "forbidden",
+		Backtracks:   30,
+		MaxFaults:    120,
+		Workers:      1,
+		IncludeTests: true,
+	}
+
+	first := post[ATPGResponse](t, ts, "/v1/atpg", params.Query(), body)
+	if first.TestsCache != "miss" || first.TestsFingerprint == "" {
+		t.Fatalf("first atpg: tests_cache=%q tests_fingerprint=%q", first.TestsCache, first.TestsFingerprint)
+	}
+
+	second := post[ATPGResponse](t, ts, "/v1/atpg", params.Query(), body)
+	if second.TestsCache != "hit" {
+		t.Fatalf("second atpg tests_cache = %q, want hit", second.TestsCache)
+	}
+	if second.TestsFingerprint != first.TestsFingerprint ||
+		second.Total != first.Total || second.Detected != first.Detected ||
+		second.Untestable != first.Untestable || second.Aborted != first.Aborted ||
+		second.Backtracks != first.Backtracks || second.Tests != first.Tests ||
+		!reflect.DeepEqual(second.TestVectors, first.TestVectors) {
+		t.Fatalf("cache hit changed the answer:\nfirst  %+v\nsecond %+v", first, second)
+	}
+	if runs := srv.Store().Stats().ATPGRuns; runs != 1 {
+		t.Fatalf("atpg runs = %d, want exactly 1", runs)
+	}
+}
+
+// TestATPGReuseEndpoint drives the incremental path over HTTP: generate for
+// a base circuit, then request a one-gate revision with reuse=auto.
+func TestATPGReuseEndpoint(t *testing.T) {
+	ts := httptest.NewServer(New(Config{}))
+	defer ts.Close()
+	c := gen.MustBuild("s953")
+	params := ATPGParams{Mode: "forbidden", Backtracks: 30, MaxFaults: 120, Workers: 1}
+
+	base := post[ATPGResponse](t, ts, "/v1/atpg", params.Query(), benchText(t, c))
+
+	mutated := strings.Replace(benchText(t, c), " = AND(", " = NAND(", 1)
+	reuseParams := params
+	reuseParams.Reuse = "auto"
+	inc := post[ATPGResponse](t, ts, "/v1/atpg", reuseParams.Query(), mutated)
+	if inc.TestsCache != "miss" {
+		t.Fatalf("incremental request tests_cache = %q, want miss (it ran)", inc.TestsCache)
+	}
+	if inc.ReuseFingerprint != base.TestsFingerprint {
+		t.Fatalf("reuse seed = %q, want the base artifact %q", inc.ReuseFingerprint, base.TestsFingerprint)
+	}
+	if inc.ReusedTests == 0 || inc.SeedDetected == 0 {
+		t.Fatalf("seed replay detected nothing: %+v", inc)
+	}
+	if inc.PodemFaults >= inc.Total {
+		t.Fatalf("podem searched %d of %d faults — replay saved nothing", inc.PodemFaults, inc.Total)
+	}
+	if inc.ReuseDiff == "" {
+		t.Fatal("reuse diff empty; the one-gate revision should be reported")
+	}
+	if inc.Detected+inc.Untestable+inc.Aborted != inc.Total {
+		t.Fatalf("incremental classification does not cover the fault list: %+v", inc)
+	}
+
+	// An unknown explicit fingerprint is a request error.
+	badParams := params
+	badParams.Reuse = strings.Repeat("f", 64)
+	resp, err := http.Post(ts.URL+"/v1/atpg?"+badParams.Query().Encode(), "text/plain", strings.NewReader(mutated))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("unknown reuse fingerprint: status %d, want 400", resp.StatusCode)
+	}
+}
+
+// TestClientDisconnectFreesSlot is the mid-run abandonment gate: a client
+// that vanishes during ATPG must not leave the daemon computing or holding
+// the compute slot. With MaxConcurrent=1 a leaked slot would wedge the
+// daemon permanently.
+func TestClientDisconnectFreesSlot(t *testing.T) {
+	srv := New(Config{MaxConcurrent: 1})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	// A run that takes many seconds uncancelled: the full s953 fault list.
+	body := benchText(t, gen.MustBuild("s953"))
+	params := ATPGParams{Mode: "forbidden", Backtracks: 1000, Workers: 1}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		ts.URL+"/v1/atpg?"+params.Query().Encode(), strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		time.Sleep(100 * time.Millisecond)
+		cancel()
+	}()
+	if _, err := http.DefaultClient.Do(req); err == nil {
+		t.Fatal("abandoned request reported success")
+	}
+
+	// The handler must notice within one fault boundary: abandoned counted,
+	// slot released.
+	deadline := time.Now().Add(20 * time.Second)
+	for {
+		stats := get[StatsResponse](t, ts, "/v1/stats")
+		if stats.Abandoned == 1 && stats.InFlight == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("daemon still busy after abandonment: %+v", stats)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if canceled := srv.Store().Stats().ATPGCanceled; canceled != 1 {
+		t.Fatalf("store canceled count = %d, want 1", canceled)
+	}
+
+	// The freed slot serves the next request normally.
+	cl := &http.Client{Timeout: 10 * time.Second}
+	resp, err := cl.Post(ts.URL+"/v1/learn", "text/plain", strings.NewReader(benchText(t, circuits.Figure2())))
+	if err != nil {
+		t.Fatalf("daemon wedged after abandonment: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("post-abandonment request: status %d", resp.StatusCode)
 	}
 }
 

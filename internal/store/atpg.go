@@ -1,0 +1,354 @@
+package store
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
+	"fmt"
+
+	"repro/internal/atpg"
+	"repro/internal/equiv"
+	"repro/internal/fault"
+	"repro/internal/netlist"
+)
+
+// The test-set cache: the ATPG counterpart of the learning cache. A full
+// test-generation run is content-addressed by (learn fingerprint, canonical
+// fault-list digest, result-relevant run options), so a repeat /v1/atpg
+// request is a lookup instead of a PODEM rerun — the paper's amortization
+// argument extended from the implication database to the test sets it
+// enables. When the exact key misses, a cached test set for a *different*
+// circuit with a matching primary-input signature can seed the run: the old
+// tests are replayed through the packed fault simulator (64 lanes per word
+// makes this a few milliseconds) and PODEM targets only the residue — the
+// classical incremental regression-ATPG flow.
+
+// ErrCanceled reports that the ATPG run executing a request was abandoned
+// by its client mid-run. Coalesced waiters whose own clients are alive
+// retry; the abandoning request's handler maps it to an abandoned-count.
+var ErrCanceled = errors.New("store: atpg run canceled")
+
+// ATPGArtifact is one cached test-generation result. Immutable after
+// creation; safe to share across concurrent readers.
+type ATPGArtifact struct {
+	// Fingerprint is the artifact's content address (ATPGFingerprint).
+	Fingerprint string
+
+	// LearnFP is the learning artifact the run was generated against
+	// (which itself hashes the circuit's canonical form).
+	LearnFP string
+
+	// Circuit is the canonical instance the run executed on. Nil for seed
+	// artifacts reloaded from disk, which carry only the primary-input
+	// signature and the test vectors.
+	Circuit *netlist.Circuit
+
+	// PISignature is the primary-input names in declaration order — the
+	// compatibility key for incremental reuse: a test set replays onto any
+	// circuit with the same signature.
+	PISignature []string
+
+	// Result is the full run outcome: tests, per-fault status, counts.
+	Result atpg.RunResult
+}
+
+// ATPGRequest is one resolved test-generation request against the store.
+type ATPGRequest struct {
+	// Artifact is the learning artifact the run consumes (Learn resolved
+	// it already); the run executes on Artifact.Circuit.
+	Artifact *Artifact
+
+	// Faults is the effective target list (nil = the collapsed universe of
+	// the circuit). Options.MaxFaults truncation is applied by the store
+	// before fingerprinting, so the digest covers exactly what runs.
+	Faults []fault.Fault
+
+	// Options is the assembled run configuration. Parallelism and Cancel
+	// are per-request execution knobs excluded from the fingerprint;
+	// SeedTests must be empty (the store owns seeding via Reuse).
+	Options atpg.RunOptions
+
+	// Reuse selects the incremental path on a cache miss: "" disables it,
+	// "auto" seeds from the most recently used artifact with a matching PI
+	// signature, anything else is an explicit artifact fingerprint (error
+	// if unknown). Exact-key hits ignore Reuse — the lookup already won.
+	Reuse string
+}
+
+// ATPGReuse describes the incremental seeding of one executed run (nil on
+// cache hits and unseeded runs).
+type ATPGReuse struct {
+	Fingerprint   string `json:"fingerprint"`    // the seed artifact
+	TestsReplayed int    `json:"tests_replayed"` // seed tests fault-simulated
+	TestsKept     int    `json:"tests_kept"`     // seed tests that detected something
+	SeedDetected  int    `json:"seed_detected"`  // faults the replay detected
+	Diff          string `json:"diff,omitempty"` // first structural difference vs the seed circuit
+}
+
+type atpgEntry struct {
+	fp  string
+	art *ATPGArtifact
+}
+
+type atpgFlight struct {
+	done  chan struct{}
+	art   *ATPGArtifact
+	reuse *ATPGReuse
+	err   error
+}
+
+// ATPGFingerprint returns the content address of a test-generation run:
+// the learning fingerprint (circuit + learning options), a digest of the
+// effective fault list (by node name, so structurally identical parses
+// share it), and the result-relevant run options. Parallelism is excluded
+// (the sharded driver is bit-identical for every worker count), as are
+// Cancel and SeedTests (execution knobs, not result definitions — a seeded
+// run caches under the same key an unseeded run would, as an equally valid
+// test-set artifact for that request).
+func ATPGFingerprint(learnFP string, c *netlist.Circuit, faults []fault.Fault, ropt atpg.RunOptions) string {
+	h := sha256.New()
+	fmt.Fprintf(h, "atpg|learn=%s", learnFP)
+	a := ropt.ATPG.Normalized()
+	fmt.Fprintf(h, "|mode=%d bt=%d win=%v fill=%d cross=%t compact=%t",
+		a.Mode, a.BacktrackLimit, a.Windows, a.FillSeed, a.UseCrossFrame, ropt.CompactTests)
+	for _, f := range ropt.PreUntestable {
+		fmt.Fprintf(h, "|pre=%s/%s", c.NameOf(f.Node), f.Stuck)
+	}
+	fmt.Fprintf(h, "|faults=%d", len(faults))
+	for _, f := range faults {
+		fmt.Fprintf(h, "|%s/%s", c.NameOf(f.Node), f.Stuck)
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// PISignature returns the circuit's primary-input names in declaration
+// order — the reuse-compatibility key.
+func PISignature(c *netlist.Circuit) []string {
+	out := make([]string, len(c.PIs))
+	for i, id := range c.PIs {
+		out[i] = c.NameOf(id)
+	}
+	return out
+}
+
+func sameSignature(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// chanceled polls a cooperative-cancel channel (nil never fires).
+func chanceled(ch <-chan struct{}) bool {
+	select {
+	case <-ch:
+		return true
+	default:
+		return false
+	}
+}
+
+// ATPG resolves the test-set artifact for the request: in-memory LRU, then
+// singleflight coalescing, then disk, then an actual run — seeded by a
+// reusable artifact when the request asks for one. The returned Source
+// reports how the artifact was obtained; the ATPGReuse is non-nil exactly
+// when a run executed with seeding.
+func (s *Store) ATPG(req ATPGRequest) (*ATPGArtifact, Source, *ATPGReuse, error) {
+	c := req.Artifact.Circuit
+	faults := req.Faults
+	if faults == nil {
+		faults, _ = fault.Collapse(c)
+	}
+	if req.Options.MaxFaults > 0 && len(faults) > req.Options.MaxFaults {
+		faults = faults[:req.Options.MaxFaults]
+	}
+	req.Options.Faults = faults
+	req.Options.MaxFaults = 0
+	fp := ATPGFingerprint(req.Artifact.Fingerprint, c, faults, req.Options)
+
+	// Resolve an explicit seed up front so an unknown fingerprint fails the
+	// request instead of silently running from scratch.
+	var seed *ATPGArtifact
+	if req.Reuse != "" && req.Reuse != "auto" {
+		var err error
+		if seed, err = s.lookupSeed(req.Reuse, c); err != nil {
+			return nil, SourceLearned, nil, err
+		}
+		if !sameSignature(seed.PISignature, PISignature(c)) {
+			return nil, SourceLearned, nil, fmt.Errorf(
+				"store: reuse %s: primary-input signature mismatch (%d PIs vs %d)",
+				req.Reuse[:12], len(seed.PISignature), len(c.PIs))
+		}
+	}
+
+	for {
+		art, src, reuse, err := s.atpgResolve(fp, req, seed)
+		if errors.Is(err, ErrCanceled) && !chanceled(req.Options.Cancel) {
+			// The request that was executing the run lost its client; ours
+			// is still here. Take over with a fresh attempt.
+			continue
+		}
+		return art, src, reuse, err
+	}
+}
+
+// lookupSeed finds a seed artifact by fingerprint: memory first, then disk
+// (tests + PI signature only — the seed's circuit need not be resident).
+func (s *Store) lookupSeed(fp string, c *netlist.Circuit) (*ATPGArtifact, error) {
+	s.mu.Lock()
+	if el, ok := s.atpgByFP[fp]; ok {
+		art := el.Value.(*atpgEntry).art
+		s.mu.Unlock()
+		return art, nil
+	}
+	s.mu.Unlock()
+	if s.opt.Dir != "" {
+		if art, err := s.loadDiskATPG(fp, nil); err == nil {
+			return art, nil
+		}
+	}
+	return nil, fmt.Errorf("store: unknown reuse fingerprint %s", fp)
+}
+
+// autoSeed picks the most recently used artifact whose PI signature matches
+// the circuit — the "last artifact" heuristic for reuse=auto. Callers hold
+// no lock.
+func (s *Store) autoSeed(sig []string) *ATPGArtifact {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for el := s.atpgLRU.Front(); el != nil; el = el.Next() {
+		if art := el.Value.(*atpgEntry).art; sameSignature(art.PISignature, sig) {
+			return art
+		}
+	}
+	return nil
+}
+
+// atpgResolve is the LRU + singleflight layer for one fingerprint.
+func (s *Store) atpgResolve(fp string, req ATPGRequest, seed *ATPGArtifact) (*ATPGArtifact, Source, *ATPGReuse, error) {
+	s.mu.Lock()
+	if el, ok := s.atpgByFP[fp]; ok {
+		s.atpgLRU.MoveToFront(el)
+		s.atpgHits++
+		art := el.Value.(*atpgEntry).art
+		s.mu.Unlock()
+		return art, SourceMemory, nil, nil
+	}
+	if f, ok := s.atpgInflight[fp]; ok {
+		s.atpgCoalesced++
+		s.mu.Unlock()
+		<-f.done
+		if f.err != nil {
+			return nil, SourceCoalesced, nil, f.err
+		}
+		return f.art, SourceCoalesced, nil, nil
+	}
+	f := &atpgFlight{done: make(chan struct{})}
+	s.atpgInflight[fp] = f
+	s.mu.Unlock()
+
+	art, src, reuse, err := s.atpgBuild(fp, req, seed)
+
+	s.mu.Lock()
+	delete(s.atpgInflight, fp)
+	switch {
+	case err != nil:
+		if errors.Is(err, ErrCanceled) {
+			s.atpgCanceled++
+		}
+	case src == SourceDisk:
+		s.atpgDiskHits++
+		s.insertATPGLocked(fp, art)
+	default:
+		s.atpgMisses++
+		s.atpgRuns++
+		if reuse != nil {
+			s.atpgReuses++
+		}
+		s.insertATPGLocked(fp, art)
+	}
+	s.mu.Unlock()
+
+	f.art, f.reuse, f.err = art, reuse, err
+	close(f.done)
+	return art, src, reuse, err
+}
+
+// atpgBuild produces the artifact outside the store lock: from disk if
+// persisted, otherwise by running the generator (seeded when reuse found a
+// donor), then persisting best-effort.
+func (s *Store) atpgBuild(fp string, req ATPGRequest, seed *ATPGArtifact) (*ATPGArtifact, Source, *ATPGReuse, error) {
+	c := req.Artifact.Circuit
+	if s.opt.Dir != "" {
+		if art, err := s.loadDiskATPG(fp, c); err == nil {
+			return art, SourceDisk, nil, nil
+		}
+	}
+
+	sig := PISignature(c)
+	if seed == nil && req.Reuse == "auto" {
+		seed = s.autoSeed(sig)
+	}
+	ropt := req.Options
+	var reuse *ATPGReuse
+	if seed != nil {
+		ropt.SeedTests = seed.Result.Tests
+		reuse = &ATPGReuse{
+			Fingerprint:   seed.Fingerprint,
+			TestsReplayed: len(seed.Result.Tests),
+		}
+		if seed.Circuit != nil {
+			if err := equiv.Structural(seed.Circuit, c); err != nil {
+				reuse.Diff = err.Error()
+			} else {
+				reuse.Diff = "structurally identical"
+			}
+		}
+	}
+
+	res := atpg.Run(c, ropt)
+	if res.Canceled {
+		return nil, SourceLearned, reuse, ErrCanceled
+	}
+	if reuse != nil {
+		reuse.TestsKept = res.SeedTestsKept
+		reuse.SeedDetected = res.SeedDetected
+	}
+	art := &ATPGArtifact{
+		Fingerprint: fp,
+		LearnFP:     req.Artifact.Fingerprint,
+		Circuit:     c,
+		PISignature: sig,
+		Result:      res,
+	}
+	if s.opt.Dir != "" {
+		if err := s.saveDiskATPG(art); err != nil {
+			s.mu.Lock()
+			s.diskFails++
+			s.mu.Unlock()
+		}
+	}
+	return art, SourceLearned, reuse, nil
+}
+
+// insertATPGLocked adds the artifact at the LRU front and evicts past
+// MaxEntries. Callers hold s.mu.
+func (s *Store) insertATPGLocked(fp string, art *ATPGArtifact) {
+	if el, ok := s.atpgByFP[fp]; ok {
+		s.atpgLRU.MoveToFront(el)
+		el.Value.(*atpgEntry).art = art
+		return
+	}
+	s.atpgByFP[fp] = s.atpgLRU.PushFront(&atpgEntry{fp: fp, art: art})
+	for s.atpgLRU.Len() > s.opt.MaxEntries {
+		back := s.atpgLRU.Back()
+		delete(s.atpgByFP, back.Value.(*atpgEntry).fp)
+		s.atpgLRU.Remove(back)
+		s.atpgEvictions++
+	}
+}

@@ -63,6 +63,15 @@ func (s *Store) loadDisk(fp string, c *netlist.Circuit) (*Artifact, error) {
 	implyPath, tiesPath := s.diskPaths(fp)
 	rf, err := os.Open(implyPath)
 	if err != nil {
+		// A .ties without its .imply is the debris of a writer that crashed
+		// between the two renames; sweep it instead of leaving the
+		// half-artifact to future load-order reasoning. The re-learn that
+		// follows rewrites both files.
+		if os.IsNotExist(err) {
+			if _, terr := os.Stat(tiesPath); terr == nil {
+				os.Remove(tiesPath)
+			}
+		}
 		return nil, err
 	}
 	defer rf.Close()

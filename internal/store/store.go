@@ -120,6 +120,18 @@ type Stats struct {
 	Evictions int64 `json:"evictions"`  // LRU evictions
 	DiskFails int64 `json:"disk_fails"` // best-effort persistence failures
 	InFlight  int   `json:"in_flight"`  // learning runs executing right now
+
+	// The test-set (ATPG artifact) cache, same shape.
+	ATPGEntries   int   `json:"atpg_entries"`
+	ATPGHits      int64 `json:"atpg_hits"`
+	ATPGCoalesced int64 `json:"atpg_coalesced"`
+	ATPGDiskHits  int64 `json:"atpg_disk_hits"`
+	ATPGMisses    int64 `json:"atpg_misses"`
+	ATPGRuns      int64 `json:"atpg_runs"` // ATPG runs actually executed
+	ATPGEvictions int64 `json:"atpg_evictions"`
+	ATPGReuses    int64 `json:"atpg_reuses"`    // runs seeded by another artifact's tests
+	ATPGCanceled  int64 `json:"atpg_canceled"`  // runs abandoned mid-flight by their client
+	ATPGInFlight  int   `json:"atpg_in_flight"` // ATPG runs executing right now
 }
 
 // Store caches learning artifacts by fingerprint. All methods are safe for
@@ -132,7 +144,16 @@ type Store struct {
 	byFP     map[string]*list.Element
 	inflight map[string]*flight
 
+	// The test-set cache: a second LRU + singleflight over ATPG artifacts
+	// (see atpg.go), sharing the mutex and the disk directory.
+	atpgLRU      *list.List // of *atpgEntry, most recent first
+	atpgByFP     map[string]*list.Element
+	atpgInflight map[string]*atpgFlight
+
 	hits, coalesced, diskHits, misses, learns, evictions, diskFails int64
+
+	atpgHits, atpgCoalesced, atpgDiskHits, atpgMisses, atpgRuns,
+	atpgEvictions, atpgReuses, atpgCanceled int64
 }
 
 type entry struct {
@@ -154,10 +175,13 @@ type flight struct {
 func New(opt Options) *Store {
 	opt.defaults()
 	return &Store{
-		opt:      opt,
-		lru:      list.New(),
-		byFP:     map[string]*list.Element{},
-		inflight: map[string]*flight{},
+		opt:          opt,
+		lru:          list.New(),
+		byFP:         map[string]*list.Element{},
+		inflight:     map[string]*flight{},
+		atpgLRU:      list.New(),
+		atpgByFP:     map[string]*list.Element{},
+		atpgInflight: map[string]*atpgFlight{},
 	}
 }
 
@@ -273,5 +297,16 @@ func (s *Store) Stats() Stats {
 		Evictions: s.evictions,
 		DiskFails: s.diskFails,
 		InFlight:  len(s.inflight),
+
+		ATPGEntries:   s.atpgLRU.Len(),
+		ATPGHits:      s.atpgHits,
+		ATPGCoalesced: s.atpgCoalesced,
+		ATPGDiskHits:  s.atpgDiskHits,
+		ATPGMisses:    s.atpgMisses,
+		ATPGRuns:      s.atpgRuns,
+		ATPGEvictions: s.atpgEvictions,
+		ATPGReuses:    s.atpgReuses,
+		ATPGCanceled:  s.atpgCanceled,
+		ATPGInFlight:  len(s.atpgInflight),
 	}
 }

@@ -2,6 +2,7 @@ package seqlearn
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -60,50 +61,62 @@ func NewClient(base string) *Client {
 func (cl *Client) SetHTTPClient(hc *http.Client) { cl.hc = hc }
 
 // Learn asks the daemon for the learned implication summary of c,
-// resolving through the daemon's snapshot cache.
-func (cl *Client) Learn(c *Circuit, p ServiceLearnParams) (*ServiceLearnResult, error) {
-	return post[ServiceLearnResult](cl, "/v1/learn", p.Query(), c)
+// resolving through the daemon's snapshot cache. Canceling ctx aborts the
+// request immediately; the daemon notices the disconnect and stops
+// computing at the next checkpoint.
+func (cl *Client) Learn(ctx context.Context, c *Circuit, p ServiceLearnParams) (*ServiceLearnResult, error) {
+	return post[ServiceLearnResult](ctx, cl, "/v1/learn", p.Query(), c)
 }
 
 // GenerateTests runs remote ATPG on c. Results are bit-identical to a
 // local GenerateTests with the same options — the daemon runs the same
-// engines against a cached snapshot.
-func (cl *Client) GenerateTests(c *Circuit, p ServiceATPGParams) (*ServiceATPGResult, error) {
-	return post[ServiceATPGResult](cl, "/v1/atpg", p.Query(), c)
+// engines against a cached snapshot. Canceling ctx abandons the run; the
+// daemon stops at the next fault boundary and frees its compute slot.
+func (cl *Client) GenerateTests(ctx context.Context, c *Circuit, p ServiceATPGParams) (*ServiceATPGResult, error) {
+	return post[ServiceATPGResult](ctx, cl, "/v1/atpg", p.Query(), c)
 }
 
 // SimulateFaults fault-simulates c's collapsed fault universe remotely
 // against the deterministic sequence selected by p.
-func (cl *Client) SimulateFaults(c *Circuit, p ServiceFaultSimParams) (*ServiceFaultSimResult, error) {
-	return post[ServiceFaultSimResult](cl, "/v1/faultsim", p.Query(), c)
+func (cl *Client) SimulateFaults(ctx context.Context, c *Circuit, p ServiceFaultSimParams) (*ServiceFaultSimResult, error) {
+	return post[ServiceFaultSimResult](ctx, cl, "/v1/faultsim", p.Query(), c)
 }
 
 // Stats fetches the daemon's cache and worker-pool counters.
-func (cl *Client) Stats() (*ServiceStats, error) {
-	return get[ServiceStats](cl, "/v1/stats")
+func (cl *Client) Stats(ctx context.Context) (*ServiceStats, error) {
+	return get[ServiceStats](ctx, cl, "/v1/stats")
 }
 
 // Health checks daemon liveness.
-func (cl *Client) Health() (*ServiceHealth, error) {
-	return get[ServiceHealth](cl, "/healthz")
+func (cl *Client) Health(ctx context.Context) (*ServiceHealth, error) {
+	return get[ServiceHealth](ctx, cl, "/healthz")
 }
 
-func post[T any](cl *Client, path string, q url.Values, c *Circuit) (*T, error) {
+func post[T any](ctx context.Context, cl *Client, path string, q url.Values, c *Circuit) (*T, error) {
 	var body bytes.Buffer
 	if err := bench.Write(&body, c); err != nil {
 		return nil, fmt.Errorf("seqlearn: client: serialize %s: %w", c.Name, err)
 	}
 	q.Set("name", c.Name)
 	u := cl.base + path + "?" + q.Encode()
-	resp, err := cl.hc.Post(u, "text/plain", &body)
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, u, &body)
+	if err != nil {
+		return nil, fmt.Errorf("seqlearn: client: %w", err)
+	}
+	req.Header.Set("Content-Type", "text/plain")
+	resp, err := cl.hc.Do(req)
 	if err != nil {
 		return nil, fmt.Errorf("seqlearn: client: %w", err)
 	}
 	return decode[T](path, resp)
 }
 
-func get[T any](cl *Client, path string) (*T, error) {
-	resp, err := cl.hc.Get(cl.base + path)
+func get[T any](ctx context.Context, cl *Client, path string) (*T, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, cl.base+path, nil)
+	if err != nil {
+		return nil, fmt.Errorf("seqlearn: client: %w", err)
+	}
+	resp, err := cl.hc.Do(req)
 	if err != nil {
 		return nil, fmt.Errorf("seqlearn: client: %w", err)
 	}
@@ -130,14 +143,16 @@ func decode[T any](path string, resp *http.Response) (*T, error) {
 	return out, nil
 }
 
-// WaitHealthy polls /healthz until the daemon answers or the deadline
-// passes — the startup handshake for scripts and tests that just spawned a
-// daemon process.
-func (cl *Client) WaitHealthy(timeout time.Duration) error {
+// WaitHealthy polls /healthz until the daemon answers, the deadline
+// passes, or ctx is canceled — the startup handshake for scripts and tests
+// that just spawned a daemon process.
+func (cl *Client) WaitHealthy(ctx context.Context, timeout time.Duration) error {
 	deadline := time.Now().Add(timeout)
 	for {
-		if _, err := cl.Health(); err == nil {
+		if _, err := cl.Health(ctx); err == nil {
 			return nil
+		} else if ctx.Err() != nil {
+			return fmt.Errorf("seqlearn: waiting for daemon at %s: %w", cl.base, ctx.Err())
 		} else if time.Now().After(deadline) {
 			return fmt.Errorf("seqlearn: daemon at %s not healthy after %v: %w", cl.base, timeout, err)
 		}

@@ -1,6 +1,7 @@
 package seqlearn_test
 
 import (
+	"context"
 	"net/http/httptest"
 	"testing"
 	"time"
@@ -15,14 +16,15 @@ import (
 func TestClientAgainstInProcessDaemon(t *testing.T) {
 	ts := httptest.NewServer(server.New(server.Config{}))
 	defer ts.Close()
+	ctx := context.Background()
 	cl := seqlearn.NewClient(ts.URL)
-	if err := cl.WaitHealthy(2 * time.Second); err != nil {
+	if err := cl.WaitHealthy(ctx, 2*time.Second); err != nil {
 		t.Fatal(err)
 	}
 
 	c := seqlearn.Figure2()
 
-	lr, err := cl.Learn(c, seqlearn.ServiceLearnParams{})
+	lr, err := cl.Learn(ctx, c, seqlearn.ServiceLearnParams{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -34,12 +36,15 @@ func TestClientAgainstInProcessDaemon(t *testing.T) {
 		t.Fatalf("remote learned %d relations, local %d", lr.Relations, local.DB.Len())
 	}
 
-	at, err := cl.GenerateTests(c, seqlearn.ServiceATPGParams{Mode: "forbidden", Backtracks: 1000})
+	at, err := cl.GenerateTests(ctx, c, seqlearn.ServiceATPGParams{Mode: "forbidden", Backtracks: 1000})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if at.Cache != "hit" {
 		t.Fatalf("atpg request missed the snapshot cache: %+v", at)
+	}
+	if at.TestsCache != "miss" {
+		t.Fatalf("first atpg request should miss the test-set cache: %+v", at)
 	}
 	direct := seqlearn.GenerateTests(c, seqlearn.RunOptions{
 		Parallelism: 1,
@@ -56,7 +61,7 @@ func TestClientAgainstInProcessDaemon(t *testing.T) {
 		t.Fatalf("remote ATPG differs from local: %+v vs %+v", at, direct)
 	}
 
-	fs, err := cl.SimulateFaults(c, seqlearn.ServiceFaultSimParams{Frames: 12})
+	fs, err := cl.SimulateFaults(ctx, c, seqlearn.ServiceFaultSimParams{Frames: 12})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -64,7 +69,7 @@ func TestClientAgainstInProcessDaemon(t *testing.T) {
 		t.Fatalf("faultsim response: %+v", fs)
 	}
 
-	stats, err := cl.Stats()
+	stats, err := cl.Stats(ctx)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -77,8 +82,21 @@ func TestClientErrorsSurfaceDaemonMessage(t *testing.T) {
 	ts := httptest.NewServer(server.New(server.Config{}))
 	defer ts.Close()
 	cl := seqlearn.NewClient(ts.URL)
-	_, err := cl.GenerateTests(seqlearn.Figure2(), seqlearn.ServiceATPGParams{Mode: "psychic"})
+	_, err := cl.GenerateTests(context.Background(), seqlearn.Figure2(), seqlearn.ServiceATPGParams{Mode: "psychic"})
 	if err == nil {
 		t.Fatal("bad mode accepted")
+	}
+}
+
+// TestClientContextCancellation checks a canceled context aborts the
+// client call instead of blocking on the daemon.
+func TestClientContextCancellation(t *testing.T) {
+	ts := httptest.NewServer(server.New(server.Config{}))
+	defer ts.Close()
+	cl := seqlearn.NewClient(ts.URL)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := cl.Learn(ctx, seqlearn.Figure2(), seqlearn.ServiceLearnParams{}); err == nil {
+		t.Fatal("canceled context did not abort the request")
 	}
 }
