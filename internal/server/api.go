@@ -309,7 +309,9 @@ type ATPGResponse struct {
 
 	// PodemFaults counts faults the PODEM search actually targeted;
 	// ReusedTests counts seed tests kept by the incremental replay and
-	// SeedDetected the faults they covered (0 without reuse).
+	// SeedDetected the faults they covered. The reuse fields describe this
+	// request's run only — they are absent on cache hits, even when the
+	// cached test set was originally produced by a seeded run.
 	// ReuseFingerprint/ReuseDiff identify the seed artifact and the first
 	// structural difference against its circuit when a seeded run
 	// executed.

@@ -248,11 +248,11 @@ func (s *Server) handleATPG(w http.ResponseWriter, r *http.Request) {
 		TestsCompacted:   res.TestsCompacted,
 		VerifyFailures:   res.VerifyFailures,
 		PodemFaults:      res.PodemTargets,
-		ReusedTests:      res.SeedTestsKept,
-		SeedDetected:     res.SeedDetected,
 		ElapsedMS:        ms(time.Since(start)),
 	}
 	if reuse != nil {
+		resp.ReusedTests = reuse.TestsKept
+		resp.SeedDetected = reuse.SeedDetected
 		resp.ReuseFingerprint = reuse.Fingerprint
 		resp.ReuseDiff = reuse.Diff
 	}

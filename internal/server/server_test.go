@@ -344,16 +344,35 @@ func TestATPGReuseEndpoint(t *testing.T) {
 		t.Fatalf("incremental classification does not cover the fault list: %+v", inc)
 	}
 
-	// An unknown explicit fingerprint is a request error.
-	badParams := params
-	badParams.Reuse = strings.Repeat("f", 64)
-	resp, err := http.Post(ts.URL+"/v1/atpg?"+badParams.Query().Encode(), "text/plain", strings.NewReader(mutated))
-	if err != nil {
-		t.Fatal(err)
+	// An unknown explicit fingerprint is a request error, and malformed
+	// values (short, traversal) are rejected before they reach any slicing
+	// or disk-path construction — reuse=a used to panic the handler on a
+	// daemon started with -cache-dir.
+	for _, bad := range []string{strings.Repeat("f", 64), "a", "../../etc/passwd"} {
+		badParams := params
+		badParams.Reuse = bad
+		resp, err := http.Post(ts.URL+"/v1/atpg?"+badParams.Query().Encode(), "text/plain", strings.NewReader(mutated))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("reuse=%q: status %d, want 400", bad, resp.StatusCode)
+		}
 	}
-	resp.Body.Close()
-	if resp.StatusCode != http.StatusBadRequest {
-		t.Fatalf("unknown reuse fingerprint: status %d, want 400", resp.StatusCode)
+
+	// The cached incremental artifact is a pure function of its key: a
+	// repeat exact-key request (no reuse asked) hits the cache without
+	// reporting the seeded run's provenance.
+	hit := post[ATPGResponse](t, ts, "/v1/atpg", reuseParams.Query(), mutated)
+	if hit.TestsCache != "hit" {
+		t.Fatalf("repeat request tests_cache = %q, want hit", hit.TestsCache)
+	}
+	if hit.ReusedTests != 0 || hit.SeedDetected != 0 || hit.ReuseFingerprint != "" {
+		t.Fatalf("cache hit reports reuse the requester never got: %+v", hit)
+	}
+	if hit.Detected != inc.Detected || hit.Tests != inc.Tests {
+		t.Fatalf("cache hit changed the answer: %+v vs %+v", hit, inc)
 	}
 }
 

@@ -104,7 +104,9 @@ type atpgFlight struct {
 // (the sharded driver is bit-identical for every worker count), as are
 // Cancel and SeedTests (execution knobs, not result definitions — a seeded
 // run caches under the same key an unseeded run would, as an equally valid
-// test-set artifact for that request).
+// test-set artifact for that request; its seed counts are zeroed before
+// caching and reported only through the producing request's ATPGReuse, so
+// the stored result reads as a pure function of the key).
 func ATPGFingerprint(learnFP string, c *netlist.Circuit, faults []fault.Fault, ropt atpg.RunOptions) string {
 	h := sha256.New()
 	fmt.Fprintf(h, "atpg|learn=%s", learnFP)
@@ -153,6 +155,22 @@ func chanceled(ch <-chan struct{}) bool {
 	}
 }
 
+// validFingerprint reports whether s is a well-formed content address: 64
+// lowercase hex digits. Request-supplied fingerprints (reuse=) must pass
+// this before they are sliced for display or joined into a disk path.
+func validFingerprint(s string) bool {
+	if len(s) != 64 {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
 // ATPG resolves the test-set artifact for the request: in-memory LRU, then
 // singleflight coalescing, then disk, then an actual run — seeded by a
 // reusable artifact when the request asks for one. The returned Source
@@ -175,6 +193,10 @@ func (s *Store) ATPG(req ATPGRequest) (*ATPGArtifact, Source, *ATPGReuse, error)
 	// request instead of silently running from scratch.
 	var seed *ATPGArtifact
 	if req.Reuse != "" && req.Reuse != "auto" {
+		if !validFingerprint(req.Reuse) {
+			return nil, SourceLearned, nil, fmt.Errorf(
+				"store: malformed reuse fingerprint %q: want 64 lowercase hex digits or \"auto\"", req.Reuse)
+		}
 		var err error
 		if seed, err = s.lookupSeed(req.Reuse, c); err != nil {
 			return nil, SourceLearned, nil, err
@@ -242,11 +264,17 @@ func (s *Store) atpgResolve(fp string, req ATPGRequest, seed *ATPGArtifact) (*AT
 	if f, ok := s.atpgInflight[fp]; ok {
 		s.atpgCoalesced++
 		s.mu.Unlock()
-		<-f.done
+		// A coalesced waiter whose own client disconnects must release its
+		// compute slot immediately, not ride out the flight owner's run.
+		select {
+		case <-f.done:
+		case <-req.Options.Cancel:
+			return nil, SourceCoalesced, nil, ErrCanceled
+		}
 		if f.err != nil {
 			return nil, SourceCoalesced, nil, f.err
 		}
-		return f.art, SourceCoalesced, nil, nil
+		return f.art, SourceCoalesced, f.reuse, nil
 	}
 	f := &atpgFlight{done: make(chan struct{})}
 	s.atpgInflight[fp] = f
@@ -316,8 +344,13 @@ func (s *Store) atpgBuild(fp string, req ATPGRequest, seed *ATPGArtifact) (*ATPG
 		return nil, SourceLearned, reuse, ErrCanceled
 	}
 	if reuse != nil {
+		// Seeding is how this run happened, not part of what the key
+		// defines, so the seed counts live in the per-request ATPGReuse and
+		// are zeroed in the cached result: a later exact-key hit that never
+		// asked for reuse must not report someone else's seeding.
 		reuse.TestsKept = res.SeedTestsKept
 		reuse.SeedDetected = res.SeedDetected
+		res.SeedTestsKept, res.SeedDetected = 0, 0
 	}
 	art := &ATPGArtifact{
 		Fingerprint: fp,

@@ -5,6 +5,7 @@ import (
 	"os"
 	"strings"
 	"testing"
+	"time"
 
 	"repro/internal/atpg"
 	"repro/internal/bench"
@@ -325,6 +326,14 @@ func TestATPGIncrementalReuse(t *testing.T) {
 		t.Fatalf("reuse diff did not report the mutation: %q", reuse.Diff)
 	}
 
+	// The cached artifact must read as a pure function of its key: seeding
+	// provenance lives in the returned ATPGReuse, not in the result a later
+	// exact-key hit would serve to a client that never asked for reuse.
+	if inc.Result.SeedTestsKept != 0 || inc.Result.SeedDetected != 0 {
+		t.Fatalf("cached artifact leaks seeding provenance: kept=%d detected=%d",
+			inc.Result.SeedTestsKept, inc.Result.SeedDetected)
+	}
+
 	ir, sr := &inc.Result, &scratch.Result
 	if ir.PodemTargets >= sr.PodemTargets {
 		t.Fatalf("podem targets = %d with reuse, %d from scratch — reuse saved no search",
@@ -341,6 +350,66 @@ func TestATPGIncrementalReuse(t *testing.T) {
 	}
 	if s2.Stats().ATPGReuses != 1 {
 		t.Fatalf("stats = %+v", s2.Stats())
+	}
+}
+
+// TestATPGMalformedReuse feeds request-supplied reuse values that are not
+// well-formed fingerprints: they must fail cleanly before any slicing or
+// disk-path construction (a short value used to panic at fp[:2], and a
+// traversal value was joined into the cache directory path).
+func TestATPGMalformedReuse(t *testing.T) {
+	s := New(Options{Dir: t.TempDir()})
+	c := circuits.Figure2()
+	art := mustLearn(t, s, c)
+	for _, bad := range []string{
+		"a",
+		"../../../etc/passwd",
+		strings.Repeat("F", 64), // uppercase
+		strings.Repeat("g", 64), // non-hex
+		strings.Repeat("a", 63), // short
+		strings.Repeat("a", 65), // long
+	} {
+		_, _, _, err := s.ATPG(ATPGRequest{Artifact: art, Options: atpgOpts(art), Reuse: bad})
+		if err == nil || !strings.Contains(err.Error(), "malformed reuse fingerprint") {
+			t.Errorf("reuse %q: err = %v, want malformed-fingerprint error", bad, err)
+		}
+	}
+	if s.Stats().ATPGRuns != 0 {
+		t.Fatal("a malformed reuse value triggered a run")
+	}
+}
+
+// TestATPGCoalescedWaiterCancel pins the slot-release guarantee for
+// coalesced requests: a waiter whose own client disconnects must return
+// ErrCanceled immediately instead of riding out the flight owner's run.
+func TestATPGCoalescedWaiterCancel(t *testing.T) {
+	s := New(Options{})
+	c := circuits.Figure2()
+	art := mustLearn(t, s, c)
+
+	// A flight that never completes, standing in for a long run in progress.
+	fp := strings.Repeat("a", 64)
+	f := &atpgFlight{done: make(chan struct{})}
+	s.mu.Lock()
+	s.atpgInflight[fp] = f
+	s.mu.Unlock()
+
+	canceled := make(chan struct{})
+	close(canceled)
+	opt := atpgOpts(art)
+	opt.Cancel = canceled
+	got := make(chan error, 1)
+	go func() {
+		_, _, _, err := s.atpgResolve(fp, ATPGRequest{Artifact: art, Options: opt}, nil)
+		got <- err
+	}()
+	select {
+	case err := <-got:
+		if err != ErrCanceled {
+			t.Fatalf("coalesced waiter err = %v, want ErrCanceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("coalesced waiter blocked on the flight despite its cancel firing")
 	}
 }
 
