@@ -7,17 +7,23 @@
 // Usage:
 //
 //	seqlearnd                                  # serve on :8344, memory-only cache
-//	seqlearnd -addr 127.0.0.1:0 -addr-file a   # random port, written to file a
+//	seqlearnd -addr 127.0.0.1:0 -addr-file a   # random port, written (atomically) to file a
 //	seqlearnd -cache-dir /var/cache/seqlearn   # persist learned snapshots
+//	seqlearnd -queue 32 -request-timeout 5m    # shed beyond 32 waiters, bound each request
 //	seqlearnd -dump-circuit figure2            # print a built-in netlist and exit
 //
-// Endpoints (see internal/server):
+// Endpoints (see internal/server; every compute endpoint also takes
+// timeout= for a per-request deadline, capped by -request-timeout):
 //
-//	POST /v1/learn?[max_frames=|single_only=1|skip_comb=1|workers=]
+//	POST /v1/learn?[max_frames=|single_only=1|skip_comb=1|workers=|timeout=]
 //	POST /v1/atpg?[mode=|backtracks=|max_faults=|max_window=|atpg_workers=|compact=1|include_tests=1|reuse=]
 //	POST /v1/faultsim?[frames=|seed=|workers=]
 //	GET  /healthz
 //	GET  /v1/stats
+//
+// Overload sheds with 429 + Retry-After once the pool and queue are full;
+// expired deadlines answer 504 and never cache; SIGINT/SIGTERM flips
+// /healthz to 503 "draining" and drains in-flight work before exiting.
 package main
 
 import (
@@ -30,6 +36,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"syscall"
 	"time"
 
@@ -47,6 +54,8 @@ func main() {
 		cacheDir    = flag.String("cache-dir", "", "persist learned snapshots under this directory (empty = memory only)")
 		cacheSize   = flag.Int("cache-entries", 64, "in-memory snapshot LRU capacity")
 		pool        = flag.Int("pool", server.DefaultPool(), "max compute requests in flight; excess requests queue")
+		queueLen    = flag.Int("queue", 16, "max compute requests waiting for a pool slot; beyond that requests shed with 429 + Retry-After (negative = shed immediately)")
+		reqTimeout  = flag.Duration("request-timeout", 0, "cap on each compute request's queue wait + run time; expired requests answer 504 (0 = unbounded; per-request timeout= is capped by this)")
 		maxBodyMB   = flag.Int64("max-body-mb", 64, "largest accepted netlist in MiB")
 		drain       = flag.Duration("drain", 30*time.Second, "on SIGINT/SIGTERM, wait up to this long for in-flight requests before exiting")
 		dumpCircuit = flag.String("dump-circuit", "", "print a built-in circuit (figure1, figure2 or a suite name) as .bench and exit")
@@ -62,9 +71,11 @@ func main() {
 	}
 
 	srv := server.New(server.Config{
-		Store:         store.Options{MaxEntries: *cacheSize, Dir: *cacheDir},
-		MaxConcurrent: *pool,
-		MaxBodyBytes:  *maxBodyMB << 20,
+		Store:          store.Options{MaxEntries: *cacheSize, Dir: *cacheDir},
+		MaxConcurrent:  *pool,
+		MaxQueue:       *queueLen,
+		RequestTimeout: *reqTimeout,
+		MaxBodyBytes:   *maxBodyMB << 20,
 	})
 
 	ln, err := net.Listen("tcp", *addr)
@@ -74,7 +85,7 @@ func main() {
 	}
 	resolved := ln.Addr().String()
 	if *addrFile != "" {
-		if err := os.WriteFile(*addrFile, []byte(resolved+"\n"), 0o644); err != nil {
+		if err := writeAddrFile(*addrFile, resolved); err != nil {
 			fmt.Fprintln(os.Stderr, "seqlearnd:", err)
 			os.Exit(1)
 		}
@@ -107,6 +118,9 @@ func main() {
 	}
 	stop() // a second signal during the drain kills the process the default way
 
+	// Readiness flips first: /healthz answers 503 "draining" from here on,
+	// so a load balancer stops routing new work before the listener closes.
+	srv.SetDraining(true)
 	fmt.Printf("seqlearnd: shutting down (draining for up to %v)\n", *drain)
 	sctx, cancel := context.WithTimeout(context.Background(), *drain)
 	defer cancel()
@@ -120,6 +134,29 @@ func main() {
 	if err == nil {
 		fmt.Printf("seqlearnd: final stats:\n%s\n", report)
 	}
+}
+
+// writeAddrFile publishes the resolved listen address via temp file +
+// rename, so a script polling the path never reads a half-written line.
+func writeAddrFile(path, addr string) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name())
+	if _, err := tmp.WriteString(addr + "\n"); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Chmod(0o644); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
 }
 
 // dump prints a built-in circuit in the wire format, so shell scripts (and

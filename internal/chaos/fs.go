@@ -1,0 +1,190 @@
+// Package chaos provides deterministic fault injection for robustness
+// tests: a store.FS wrapper whose operations error, short-write or "crash"
+// at rename on a seeded schedule, and an HTTP proxy that delays, drops and
+// fails requests in flight. Both are test doubles for the failure modes a
+// long-lived seqlearnd meets in production — full disks, yanked mounts,
+// flaky networks — made reproducible by a single seed.
+package chaos
+
+import (
+	"errors"
+	"io/fs"
+	"math/rand/v2"
+	"os"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/store"
+)
+
+// ErrInjected is the root cause of every fault this package injects.
+// Filesystem faults wrap it in *fs.PathError, matching how the os package
+// reports real I/O failures — which is exactly what the store's
+// degradation classifier keys on.
+var ErrInjected = errors.New("chaos: injected fault")
+
+// FSConfig sets the per-operation fault probabilities of an FS. All
+// probabilities are in [0, 1]; zero everywhere yields a transparent
+// passthrough to the real filesystem. Faults draw from one seeded stream
+// in operation order, so a single-threaded caller sees an exactly
+// reproducible schedule and concurrent callers a reproducible fault rate.
+type FSConfig struct {
+	// Seed initializes the fault schedule (0 is a valid, fixed seed).
+	Seed uint64
+	// FailProb is the chance any operation (open, create, rename, mkdir,
+	// remove, stat) fails outright with an injected *fs.PathError.
+	FailProb float64
+	// ShortWriteProb is the chance a File.Write persists only half its
+	// bytes before failing — the torn-write a crashed or full disk leaves.
+	ShortWriteProb float64
+	// CrashRenameProb is the chance a Rename fails as if the process died
+	// just before it: the destination never appears, the temp file stays.
+	CrashRenameProb float64
+}
+
+// FS is a store.FS that injects faults per its FSConfig, plus a sticky
+// FailAll switch that makes every operation fail until healed — the "disk
+// pulled out" scenario driving the store's degrade/re-probe cycle.
+type FS struct {
+	cfg FSConfig
+
+	mu  sync.Mutex
+	rng *rand.Rand
+
+	failAll  atomic.Bool
+	ops      atomic.Int64
+	injected atomic.Int64
+}
+
+// NewFS returns a fault-injecting filesystem over the real one.
+func NewFS(cfg FSConfig) *FS {
+	return &FS{cfg: cfg, rng: rand.New(rand.NewPCG(cfg.Seed, cfg.Seed^0x9e3779b97f4a7c15))}
+}
+
+// FailAll switches every operation to fail (true) or restores the
+// configured probabilistic behavior (false).
+func (c *FS) FailAll(v bool) { c.failAll.Store(v) }
+
+// Ops returns how many filesystem operations were attempted.
+func (c *FS) Ops() int64 { return c.ops.Load() }
+
+// Injected returns how many faults were injected so far.
+func (c *FS) Injected() int64 { return c.injected.Load() }
+
+// roll draws one fault decision from the seeded stream.
+func (c *FS) roll(p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.rng.Float64() < p
+}
+
+// fail decides whether to inject an outright failure for one operation.
+func (c *FS) fail() bool {
+	return c.failAll.Load() || c.roll(c.cfg.FailProb)
+}
+
+func (c *FS) inject(op, path string) error {
+	c.injected.Add(1)
+	return &fs.PathError{Op: op, Path: path, Err: ErrInjected}
+}
+
+// Open implements store.FS.
+func (c *FS) Open(name string) (store.File, error) {
+	c.ops.Add(1)
+	if c.fail() {
+		return nil, c.inject("open", name)
+	}
+	f, err := os.Open(name)
+	if err != nil {
+		return nil, err
+	}
+	return &file{f: f, fs: c}, nil
+}
+
+// CreateTemp implements store.FS.
+func (c *FS) CreateTemp(dir, pattern string) (store.File, error) {
+	c.ops.Add(1)
+	if c.fail() {
+		return nil, c.inject("createtemp", dir)
+	}
+	f, err := os.CreateTemp(dir, pattern)
+	if err != nil {
+		return nil, err
+	}
+	return &file{f: f, fs: c}, nil
+}
+
+// Rename implements store.FS.
+func (c *FS) Rename(oldpath, newpath string) error {
+	c.ops.Add(1)
+	if c.fail() {
+		return c.inject("rename", newpath)
+	}
+	if c.roll(c.cfg.CrashRenameProb) {
+		// The crash leaves the temp file where it was and nothing at the
+		// destination — the precise scenario atomic writes exist for.
+		return c.inject("rename", newpath)
+	}
+	return os.Rename(oldpath, newpath)
+}
+
+// MkdirAll implements store.FS.
+func (c *FS) MkdirAll(path string, perm os.FileMode) error {
+	c.ops.Add(1)
+	if c.fail() {
+		return c.inject("mkdir", path)
+	}
+	return os.MkdirAll(path, perm)
+}
+
+// Remove implements store.FS.
+func (c *FS) Remove(name string) error {
+	c.ops.Add(1)
+	if c.fail() {
+		return c.inject("remove", name)
+	}
+	return os.Remove(name)
+}
+
+// Stat implements store.FS.
+func (c *FS) Stat(name string) (fs.FileInfo, error) {
+	c.ops.Add(1)
+	if c.fail() {
+		return nil, c.inject("stat", name)
+	}
+	return os.Stat(name)
+}
+
+// file wraps an *os.File to inject write faults.
+type file struct {
+	f  *os.File
+	fs *FS
+}
+
+func (f *file) Read(p []byte) (int, error) { return f.f.Read(p) }
+
+func (f *file) Write(p []byte) (int, error) {
+	if f.fs.failAll.Load() {
+		return 0, f.fs.inject("write", f.f.Name())
+	}
+	if len(p) > 0 && f.fs.roll(f.fs.cfg.ShortWriteProb) {
+		// Persist half the bytes, then fail: the partial data really is on
+		// disk, so only rename discipline keeps it out of the cache.
+		n, _ := f.f.Write(p[:len(p)/2])
+		return n, f.fs.inject("write", f.f.Name())
+	}
+	return f.f.Write(p)
+}
+
+func (f *file) Close() error {
+	if f.fs.failAll.Load() {
+		f.f.Close()
+		return f.fs.inject("close", f.f.Name())
+	}
+	return f.f.Close()
+}
+
+func (f *file) Name() string { return f.f.Name() }

@@ -1,0 +1,107 @@
+package chaos
+
+import (
+	"math/rand/v2"
+	"net/http"
+	"net/http/httputil"
+	"net/url"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ProxyConfig sets the network fault behavior of a Proxy. Zero values
+// forward transparently.
+type ProxyConfig struct {
+	// Seed initializes the fault schedule.
+	Seed uint64
+	// Latency delays every forwarded request by a uniform draw from
+	// [0, Latency).
+	Latency time.Duration
+	// DropProb is the chance a request's connection is severed without any
+	// response — the client sees a transport error.
+	DropProb float64
+	// Err5xxProb is the chance a request is answered 502 by the proxy
+	// without reaching the daemon.
+	Err5xxProb float64
+}
+
+// Proxy is an http.Handler that forwards to a target daemon while
+// injecting latency, connection drops and 5xx failures on a seeded
+// schedule — the flaky network between a seqlearn.Client and seqlearnd.
+type Proxy struct {
+	cfg ProxyConfig
+	rp  *httputil.ReverseProxy
+
+	mu  sync.Mutex
+	rng *rand.Rand
+
+	forwarded atomic.Int64
+	dropped   atomic.Int64
+	failed    atomic.Int64
+}
+
+// NewProxy returns a fault-injecting proxy in front of target (a daemon
+// base URL such as an httptest.Server.URL).
+func NewProxy(target string, cfg ProxyConfig) (*Proxy, error) {
+	u, err := url.Parse(target)
+	if err != nil {
+		return nil, err
+	}
+	return &Proxy{
+		cfg: cfg,
+		rp:  httputil.NewSingleHostReverseProxy(u),
+		rng: rand.New(rand.NewPCG(cfg.Seed, cfg.Seed^0x51ce5eed)),
+	}, nil
+}
+
+// Forwarded, Dropped and Failed count requests that reached the daemon,
+// had their connection severed, and were answered with an injected 502.
+func (p *Proxy) Forwarded() int64 { return p.forwarded.Load() }
+func (p *Proxy) Dropped() int64   { return p.dropped.Load() }
+func (p *Proxy) Failed() int64    { return p.failed.Load() }
+
+func (p *Proxy) roll(prob float64) bool {
+	if prob <= 0 {
+		return false
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.rng.Float64() < prob
+}
+
+func (p *Proxy) delay() time.Duration {
+	if p.cfg.Latency <= 0 {
+		return 0
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return rand.N(p.cfg.Latency)
+}
+
+// ServeHTTP implements http.Handler.
+func (p *Proxy) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if d := p.delay(); d > 0 {
+		time.Sleep(d)
+	}
+	if p.roll(p.cfg.DropProb) {
+		p.dropped.Add(1)
+		if hj, ok := w.(http.Hijacker); ok {
+			if conn, _, err := hj.Hijack(); err == nil {
+				conn.Close()
+				return
+			}
+		}
+		// No hijack support (HTTP/2 test servers): panic unwinds the
+		// handler and net/http resets the stream, which the client also
+		// sees as a transport error.
+		panic(http.ErrAbortHandler)
+	}
+	if p.roll(p.cfg.Err5xxProb) {
+		p.failed.Add(1)
+		http.Error(w, "chaos: injected upstream failure", http.StatusBadGateway)
+		return
+	}
+	p.forwarded.Add(1)
+	p.rp.ServeHTTP(w, r)
+}

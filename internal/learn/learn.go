@@ -109,6 +109,14 @@ type Options struct {
 	// DisablePacked is set.
 	PackedLanes int
 
+	// Cancel, when non-nil, aborts the run cooperatively: it is checked
+	// between phases and at injection boundaries of the single- and
+	// multiple-node sweeps, and a fired channel makes Learn return
+	// promptly with Result.Canceled set. A canceled result is partial and
+	// must be discarded, never cached — it is an execution knob like
+	// Parallelism, excluded from store fingerprints.
+	Cancel <-chan struct{}
+
 	// Equiv tunes equivalence identification.
 	Equiv equiv.Options
 }
@@ -187,6 +195,10 @@ type Result struct {
 	// Rows holds single-node simulation rows when Options.KeepRows.
 	Rows []StemRow
 
+	// Canceled reports a cooperative abort via Options.Cancel: the result
+	// is partial and must not be cached or compared against a full run.
+	Canceled bool
+
 	Stats Stats
 }
 
@@ -241,6 +253,16 @@ type learner struct {
 	curTies map[netlist.NodeID]logic.V
 }
 
+// canceled polls the run's cooperative-cancel channel (nil never fires).
+func (l *learner) canceled() bool {
+	select {
+	case <-l.opt.Cancel:
+		return true
+	default:
+		return false
+	}
+}
+
 type rowKey struct {
 	stem netlist.NodeID
 	val  logic.V
@@ -290,12 +312,18 @@ func learnWith(c *netlist.Circuit, opt Options, trace *SweepWorkload) *Result {
 		l.records[i] = map[imply.Lit][]record{}
 		l.singleNode(cls, l.records[i])
 	}
+	if l.canceled() {
+		return l.abort(start)
+	}
 
 	// Phase 2: gate equivalences with ties folded in.
 	if !opt.DisableEquiv {
 		eq := equiv.Find(c, l.tiesForSim(), opt.Equiv)
 		l.res.EquivClasses = eq.Classes
 		l.partners = eq.Partners
+	}
+	if l.canceled() {
+		return l.abort(start)
 	}
 
 	// Phase 3: multiple-node learning per clock class. Tie constants are
@@ -306,7 +334,7 @@ func learnWith(c *netlist.Circuit, opt Options, trace *SweepWorkload) *Result {
 		for i, cls := range classes {
 			l.multiNode(cls, l.records[i])
 		}
-		for iter := 0; opt.TieFixpoint && iter < 3; iter++ {
+		for iter := 0; opt.TieFixpoint && iter < 3 && !l.canceled(); iter++ {
 			before := len(l.res.Ties)
 			l.setTies(l.tiesForSim())
 			for i, cls := range classes {
@@ -318,6 +346,9 @@ func learnWith(c *netlist.Circuit, opt Options, trace *SweepWorkload) *Result {
 			}
 		}
 		l.setTies(nil)
+	}
+	if l.canceled() {
+		return l.abort(start)
 	}
 
 	// Phase 4: classical combinational learning, which (a) feeds the
@@ -337,6 +368,15 @@ func learnWith(c *netlist.Circuit, opt Options, trace *SweepWorkload) *Result {
 		}
 	}
 
+	l.finish()
+	l.res.Stats.Duration = time.Since(start)
+	return l.res
+}
+
+// abort finalizes a canceled run: the partial database is frozen so the
+// result is structurally valid, but Canceled marks it discard-only.
+func (l *learner) abort(start time.Time) *Result {
+	l.res.Canceled = true
 	l.finish()
 	l.res.Stats.Duration = time.Since(start)
 	return l.res

@@ -15,9 +15,13 @@ import (
 // is arbitrary — callers must write only to item-private shards and merge
 // them in item order afterwards. With one engine (Parallelism: 1) the
 // sweep runs inline on the caller's goroutine.
+//
+// A fired Options.Cancel stops the dispatch at the next item boundary —
+// sweeps of a canceled run end promptly with unprocessed items left
+// zero-valued, which is fine because a canceled Result is discard-only.
 func (l *learner) runParallel(n int, fn func(eng *sim.Engine, i int)) {
 	if len(l.engines) == 1 || n <= 1 {
-		for i := 0; i < n; i++ {
+		for i := 0; i < n && !l.canceled(); i++ {
 			fn(l.engines[0], i)
 		}
 		return
@@ -32,7 +36,7 @@ func (l *learner) runParallel(n int, fn func(eng *sim.Engine, i int)) {
 	for w := 0; w < workers; w++ {
 		go func(eng *sim.Engine) {
 			defer wg.Done()
-			for {
+			for !l.canceled() {
 				i := int(next.Add(1)) - 1
 				if i >= n {
 					return
@@ -46,10 +50,12 @@ func (l *learner) runParallel(n int, fn func(eng *sim.Engine, i int)) {
 
 // runPackedParallel is runParallel over the packed engine pool: it
 // dispatches fn(engine, b) for b in [0, n) with a worker-private packed
-// engine per invocation, handing batches out by an atomic counter.
+// engine per invocation, handing batches out by an atomic counter. Like
+// runParallel, it stops dispatching at batch boundaries once the run's
+// Cancel fires.
 func (l *learner) runPackedParallel(n int, fn func(pe *sim.PackedEngine, b int)) {
 	if len(l.packed) == 1 || n <= 1 {
-		for b := 0; b < n; b++ {
+		for b := 0; b < n && !l.canceled(); b++ {
 			fn(l.packed[0], b)
 		}
 		return
@@ -64,7 +70,7 @@ func (l *learner) runPackedParallel(n int, fn func(pe *sim.PackedEngine, b int))
 	for w := 0; w < workers; w++ {
 		go func(pe *sim.PackedEngine) {
 			defer wg.Done()
-			for {
+			for !l.canceled() {
 				b := int(next.Add(1)) - 1
 				if b >= n {
 					return

@@ -5,6 +5,7 @@ import (
 	"net/url"
 	"slices"
 	"strconv"
+	"time"
 
 	"repro/internal/atpg"
 	"repro/internal/learn"
@@ -29,6 +30,13 @@ type LearnParams struct {
 	SkipComb    bool
 	NoEarlyStop bool
 	Workers     int
+
+	// Timeout is the per-request deadline (queue wait + run), encoded as
+	// the timeout= parameter in Go duration syntax ("30s", "2m"). The
+	// daemon caps it at its own -request-timeout; an expired request
+	// answers 504 and its partial run is never cached. Zero asks for the
+	// daemon's default. An execution knob: it never affects cache keys.
+	Timeout time.Duration
 }
 
 // Options maps the request to learn.Options.
@@ -50,12 +58,14 @@ func (p LearnParams) Query() url.Values {
 	setBool(q, "skip_comb", p.SkipComb)
 	setBool(q, "no_early_stop", p.NoEarlyStop)
 	setInt(q, "workers", p.Workers)
+	setDuration(q, "timeout", p.Timeout)
 	return q
 }
 
 // learnQueryKeys lists every parameter /v1/learn accepts ("name" is the
-// display-name parameter shared by all compute endpoints).
-var learnQueryKeys = []string{"name", "max_frames", "single_only", "skip_comb", "no_early_stop", "workers"}
+// display-name parameter and "timeout" the per-request deadline, shared
+// by all compute endpoints).
+var learnQueryKeys = []string{"name", "max_frames", "single_only", "skip_comb", "no_early_stop", "workers", "timeout"}
 
 func learnParamsFromQuery(q url.Values) (LearnParams, error) {
 	if err := checkKnown(q, learnQueryKeys); err != nil {
@@ -82,7 +92,10 @@ func decodeLearnParams(q url.Values) (LearnParams, error) {
 	if p.NoEarlyStop, err = getBool(q, "no_early_stop"); err != nil {
 		return p, err
 	}
-	p.Workers, err = getInt(q, "workers")
+	if p.Workers, err = getInt(q, "workers"); err != nil {
+		return p, err
+	}
+	p.Timeout, err = getDuration(q, "timeout")
 	return p, err
 }
 
@@ -238,6 +251,11 @@ type FaultSimParams struct {
 	Frames  int    // sequence length (default 24)
 	Seed    uint64 // PI sequence seed (default 0xbe7c)
 	Workers int    // fault-sim shards (0 = one per core, 1 = serial)
+
+	// Timeout bounds the request like LearnParams.Timeout. The simulation
+	// kernel has no cancellation hook, so the deadline governs the queue
+	// wait; an expired wait answers 504 without starting the run.
+	Timeout time.Duration
 }
 
 // Query renders the parameters for a request URL.
@@ -248,11 +266,12 @@ func (p FaultSimParams) Query() url.Values {
 		q.Set("seed", strconv.FormatUint(p.Seed, 10))
 	}
 	setInt(q, "workers", p.Workers)
+	setDuration(q, "timeout", p.Timeout)
 	return q
 }
 
 // faultSimQueryKeys lists every parameter /v1/faultsim accepts.
-var faultSimQueryKeys = []string{"name", "frames", "seed", "workers"}
+var faultSimQueryKeys = []string{"name", "frames", "seed", "workers", "timeout"}
 
 func faultSimParamsFromQuery(q url.Values) (FaultSimParams, error) {
 	var p FaultSimParams
@@ -266,7 +285,10 @@ func faultSimParamsFromQuery(q url.Values) (FaultSimParams, error) {
 	if p.Seed, err = getUint(q, "seed"); err != nil {
 		return p, err
 	}
-	p.Workers, err = getInt(q, "workers")
+	if p.Workers, err = getInt(q, "workers"); err != nil {
+		return p, err
+	}
+	p.Timeout, err = getDuration(q, "timeout")
 	return p, err
 }
 
@@ -354,16 +376,30 @@ type StatsResponse struct {
 	// slot; Queued counts requests waiting for one; Abandoned counts
 	// requests whose client disconnected mid-run (the run stopped at the
 	// next fault boundary and the slot was released).
-	InFlight  int64            `json:"in_flight"`
-	Queued    int64            `json:"queued"`
-	Abandoned int64            `json:"abandoned"`
-	Served    map[string]int64 `json:"served"`
+	InFlight  int64 `json:"in_flight"`
+	Queued    int64 `json:"queued"`
+	Abandoned int64 `json:"abandoned"`
+	// Shed counts requests rejected with 429 because the admission queue
+	// was full; TimedOut counts requests that expired their deadline (504)
+	// while queued or mid-run. Degraded mirrors the cache's memory-only
+	// state after a disk I/O failure, and Draining is set once shutdown
+	// has begun (new work is still accepted until the listener closes, but
+	// /healthz already answers 503 so load balancers stop routing here).
+	Shed     int64            `json:"shed"`
+	TimedOut int64            `json:"timed_out"`
+	Degraded bool             `json:"degraded"`
+	Draining bool             `json:"draining"`
+	Served   map[string]int64 `json:"served"`
 }
 
-// HealthResponse is the JSON answer of GET /healthz.
+// HealthResponse is the JSON answer of GET /healthz. Status is "ok" or
+// "draining"; a draining daemon answers 503 so readiness probes fail fast
+// while in-flight work finishes. Degraded is informational — a daemon with
+// a broken disk cache still serves correct results from memory.
 type HealthResponse struct {
 	Status   string  `json:"status"`
 	UptimeMS float64 `json:"uptime_ms"`
+	Degraded bool    `json:"degraded"`
 }
 
 // ErrorResponse is the JSON body of every non-2xx answer.
@@ -445,4 +481,22 @@ func getBool(q url.Values, key string) (bool, error) {
 		return true, nil
 	}
 	return false, fmt.Errorf("bad %s %q", key, q.Get(key))
+}
+
+func setDuration(q url.Values, key string, v time.Duration) {
+	if v > 0 {
+		q.Set(key, v.String())
+	}
+}
+
+func getDuration(q url.Values, key string) (time.Duration, error) {
+	s := q.Get(key)
+	if s == "" {
+		return 0, nil
+	}
+	v, err := time.ParseDuration(s)
+	if err != nil || v < 0 {
+		return 0, fmt.Errorf("bad %s %q", key, s)
+	}
+	return v, nil
 }

@@ -20,11 +20,13 @@
 package server
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"net/http"
 	"runtime"
+	"strconv"
 	"sync/atomic"
 	"time"
 
@@ -42,10 +44,25 @@ type Config struct {
 	Store store.Options
 
 	// MaxConcurrent bounds how many compute requests (learn/atpg/faultsim)
-	// execute at once (default 2); excess requests queue until a slot
-	// frees or their client gives up. Each request may itself shard over
-	// many cores via its workers parameter.
+	// execute at once (default 2); excess requests wait in the admission
+	// queue. Each request may itself shard over many cores via its
+	// workers parameter.
 	MaxConcurrent int
+
+	// MaxQueue bounds how many compute requests may wait for a pool slot
+	// (default 16). When the queue is full further requests are shed with
+	// 429 Too Many Requests and a Retry-After header derived from the
+	// observed service time, so overload produces fast, honest rejections
+	// instead of an unbounded pile of blocked handlers. Negative disables
+	// waiting entirely (every request beyond the pool sheds).
+	MaxQueue int
+
+	// RequestTimeout caps how long any compute request may spend queued
+	// plus running (0 = unbounded). Per-request timeout= parameters are
+	// capped by it. An expired request returns 504 Gateway Timeout, frees
+	// its pool slot at the next cooperative checkpoint, and its partial
+	// run is never cached.
+	RequestTimeout time.Duration
 
 	// MaxBodyBytes caps the accepted netlist size (default 64 MiB — the
 	// largest suite stand-in serializes well under that).
@@ -55,6 +72,12 @@ type Config struct {
 func (c *Config) defaults() {
 	if c.MaxConcurrent <= 0 {
 		c.MaxConcurrent = 2
+	}
+	if c.MaxQueue == 0 {
+		c.MaxQueue = 16
+	}
+	if c.MaxQueue < 0 {
+		c.MaxQueue = 0
 	}
 	if c.MaxBodyBytes <= 0 {
 		c.MaxBodyBytes = 64 << 20
@@ -67,13 +90,22 @@ type Server struct {
 	cfg   Config
 	store *store.Store
 	sem   chan struct{}
+	queue chan struct{} // admission-queue tokens; full = shed with 429
 	mux   *http.ServeMux
 	start time.Time
 
 	inFlight  atomic.Int64
 	queued    atomic.Int64
 	abandoned atomic.Int64
-	served    map[string]*atomic.Int64
+	shed      atomic.Int64
+	timedOut  atomic.Int64
+	draining  atomic.Bool
+
+	// svcNanos is an exponentially weighted moving average of compute
+	// service time (nanoseconds), feeding the Retry-After estimate.
+	svcNanos atomic.Int64
+
+	served map[string]*atomic.Int64
 }
 
 // New returns a server ready to be attached to an http.Server.
@@ -83,6 +115,7 @@ func New(cfg Config) *Server {
 		cfg:   cfg,
 		store: store.New(cfg.Store),
 		sem:   make(chan struct{}, cfg.MaxConcurrent),
+		queue: make(chan struct{}, cfg.MaxQueue),
 		mux:   http.NewServeMux(),
 		start: time.Now(),
 		served: map[string]*atomic.Int64{
@@ -106,23 +139,123 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.Serve
 // daemon's shutdown report).
 func (s *Server) Store() *store.Store { return s.store }
 
-// acquire blocks until a compute slot is free or the request is abandoned.
-// It returns a release func, or an error after writing the 503.
-func (s *Server) acquire(w http.ResponseWriter, r *http.Request) (func(), bool) {
-	s.queued.Add(1)
-	defer s.queued.Add(-1)
+// acquire admits the request to the compute pool: immediately when a slot
+// is free, through the bounded admission queue when not, and with a 429 +
+// Retry-After rejection when even the queue is full. ctx is the request's
+// effective deadline context (requestContext); expiry while queued answers
+// 504, client disconnect 503 — either way the queue position is released.
+// It returns a release func, or false after writing the error response.
+func (s *Server) acquire(w http.ResponseWriter, ctx context.Context) (func(), bool) {
+	// Fast path: a free slot, no queueing.
 	select {
 	case s.sem <- struct{}{}:
-		s.inFlight.Add(1)
-		return func() {
-			s.inFlight.Add(-1)
-			<-s.sem
-		}, true
-	case <-r.Context().Done():
-		s.abandoned.Add(1)
-		s.writeError(w, http.StatusServiceUnavailable, fmt.Errorf("request abandoned while queued"))
+		return s.slotAcquired(), true
+	default:
+	}
+
+	// Admission control: take a queue token or shed. A full queue means
+	// the daemon is already pool+queue deep in work; waiting longer only
+	// builds an unbounded backlog, so answer now with an honest retry
+	// hint instead.
+	select {
+	case s.queue <- struct{}{}:
+	default:
+		s.shed.Add(1)
+		w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSeconds()))
+		s.writeError(w, http.StatusTooManyRequests,
+			fmt.Errorf("compute pool and admission queue full; retry after the advised delay"))
 		return nil, false
 	}
+	s.queued.Add(1)
+	defer func() {
+		s.queued.Add(-1)
+		<-s.queue
+	}()
+
+	select {
+	case s.sem <- struct{}{}:
+		return s.slotAcquired(), true
+	case <-ctx.Done():
+		code, err := s.cancelStatus(ctx, "while queued")
+		s.writeError(w, code, err)
+		return nil, false
+	}
+}
+
+// slotAcquired finalizes a successful pool admission and returns the
+// release func, which also feeds the service-time average behind
+// Retry-After.
+func (s *Server) slotAcquired() func() {
+	s.inFlight.Add(1)
+	start := time.Now()
+	return func() {
+		s.observeService(time.Since(start))
+		s.inFlight.Add(-1)
+		<-s.sem
+	}
+}
+
+// observeService folds one completed request's slot-holding time into the
+// EWMA (α = 1/4) behind the Retry-After estimate.
+func (s *Server) observeService(d time.Duration) {
+	for {
+		old := s.svcNanos.Load()
+		next := int64(d)
+		if old != 0 {
+			next = old + (int64(d)-old)/4
+		}
+		if s.svcNanos.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// retryAfterSeconds estimates when a shed client should come back: the
+// observed average service time, scaled by how many requests are already
+// ahead of it per pool slot. Clamped to [1s, 300s]; before any request
+// has completed the average defaults to one second.
+func (s *Server) retryAfterSeconds() int {
+	avg := time.Duration(s.svcNanos.Load())
+	if avg <= 0 {
+		avg = time.Second
+	}
+	ahead := len(s.queue) + 1
+	wait := avg * time.Duration(ahead) / time.Duration(cap(s.sem))
+	secs := int((wait + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	if secs > 300 {
+		secs = 300
+	}
+	return secs
+}
+
+// requestContext derives the compute context for one request: the
+// client-disconnect context bounded by the effective deadline — the
+// per-request timeout= parameter capped by the server-wide
+// RequestTimeout.
+func (s *Server) requestContext(r *http.Request, reqTimeout time.Duration) (context.Context, context.CancelFunc) {
+	d := s.cfg.RequestTimeout
+	if reqTimeout > 0 && (d == 0 || reqTimeout < d) {
+		d = reqTimeout
+	}
+	if d <= 0 {
+		return context.WithCancel(r.Context())
+	}
+	return context.WithTimeout(r.Context(), d)
+}
+
+// cancelStatus classifies a canceled request: an expired deadline is a
+// 504 (timed_out), a vanished client a 503 (abandoned). Either way the
+// run was stopped at a cooperative checkpoint and never cached.
+func (s *Server) cancelStatus(ctx context.Context, when string) (int, error) {
+	if errors.Is(ctx.Err(), context.DeadlineExceeded) {
+		s.timedOut.Add(1)
+		return http.StatusGatewayTimeout, fmt.Errorf("request deadline expired %s", when)
+	}
+	s.abandoned.Add(1)
+	return http.StatusServiceUnavailable, fmt.Errorf("request abandoned %s", when)
 }
 
 // readCircuit parses the posted .bench netlist. The display name comes
@@ -153,14 +286,25 @@ func (s *Server) handleLearn(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	release, ok := s.acquire(w, r)
+	ctx, cancel := s.requestContext(r, params.Timeout)
+	defer cancel()
+	release, ok := s.acquire(w, ctx)
 	if !ok {
 		return
 	}
 	defer release()
 
-	art, src, err := s.store.Learn(c, params.Options())
+	// An expired or abandoned learning run stops at the next injection
+	// boundary, frees this slot, and is never cached.
+	lopt := params.Options()
+	lopt.Cancel = ctx.Done()
+	art, src, err := s.store.Learn(c, lopt)
 	if err != nil {
+		if errors.Is(err, store.ErrCanceled) {
+			code, cerr := s.cancelStatus(ctx, "mid-run")
+			s.writeError(w, code, cerr)
+			return
+		}
 		s.writeError(w, http.StatusInternalServerError, err)
 		return
 	}
@@ -192,14 +336,23 @@ func (s *Server) handleATPG(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	release, ok := s.acquire(w, r)
+	ctx, cancel := s.requestContext(r, params.Learn.Timeout)
+	defer cancel()
+	release, ok := s.acquire(w, ctx)
 	if !ok {
 		return
 	}
 	defer release()
 
-	art, src, err := s.store.Learn(c, params.Learn.Options())
+	lopt := params.Learn.Options()
+	lopt.Cancel = ctx.Done()
+	art, src, err := s.store.Learn(c, lopt)
 	if err != nil {
+		if errors.Is(err, store.ErrCanceled) {
+			code, cerr := s.cancelStatus(ctx, "mid-run")
+			s.writeError(w, code, cerr)
+			return
+		}
 		s.writeError(w, http.StatusInternalServerError, err)
 		return
 	}
@@ -208,10 +361,11 @@ func (s *Server) handleATPG(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	// A client that disconnects mid-run must not keep the daemon
-	// computing: the request context feeds the driver's cooperative
-	// cancellation, checked at every fault boundary.
-	opt.Cancel = r.Context().Done()
+	// A client that disconnects — or a deadline that expires — mid-run
+	// must not keep the daemon computing: the request context feeds the
+	// driver's cooperative cancellation, checked at every fault boundary,
+	// and a canceled run is never cached.
+	opt.Cancel = ctx.Done()
 	// Resolve through the test-set cache against the artifact's canonical
 	// circuit instance: the snapshot's node ids refer to it, and on cache
 	// hits it replaces this request's structurally identical parse.
@@ -222,8 +376,8 @@ func (s *Server) handleATPG(w http.ResponseWriter, r *http.Request) {
 	})
 	if err != nil {
 		if errors.Is(err, store.ErrCanceled) {
-			s.abandoned.Add(1)
-			s.writeError(w, http.StatusServiceUnavailable, fmt.Errorf("request abandoned mid-run"))
+			code, cerr := s.cancelStatus(ctx, "mid-run")
+			s.writeError(w, code, cerr)
 			return
 		}
 		s.writeError(w, http.StatusBadRequest, err)
@@ -276,7 +430,11 @@ func (s *Server) handleFaultSim(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	release, ok := s.acquire(w, r)
+	// The fault-simulation kernel has no cooperative cancel hook; the
+	// deadline still bounds time spent waiting in the admission queue.
+	ctx, cancel := s.requestContext(r, params.Timeout)
+	defer cancel()
+	release, ok := s.acquire(w, ctx)
 	if !ok {
 		return
 	}
@@ -323,8 +481,24 @@ func (s *Server) handleFaultSim(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// SetDraining flips the readiness answer: while draining, /healthz
+// returns 503 so load balancers stop routing new work here before the
+// listener actually closes. In-flight and already-queued requests still
+// complete (http.Server.Shutdown owns that part).
+func (s *Server) SetDraining(v bool) { s.draining.Store(v) }
+
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
-	s.writeJSON(w, HealthResponse{Status: "ok", UptimeMS: ms(time.Since(s.start))})
+	h := HealthResponse{Status: "ok", UptimeMS: ms(time.Since(s.start)), Degraded: s.store.Degraded()}
+	if s.draining.Load() {
+		h.Status = "draining"
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusServiceUnavailable)
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(h)
+		return
+	}
+	s.writeJSON(w, h)
 }
 
 // StatsSnapshot returns the same counters /v1/stats serves; cmd/seqlearnd
@@ -334,12 +508,17 @@ func (s *Server) StatsSnapshot() StatsResponse {
 	for k, v := range s.served {
 		served[k] = v.Load()
 	}
+	cache := s.store.Stats()
 	return StatsResponse{
 		UptimeMS:  ms(time.Since(s.start)),
-		Cache:     s.store.Stats(),
+		Cache:     cache,
 		InFlight:  s.inFlight.Load(),
 		Queued:    s.queued.Load(),
 		Abandoned: s.abandoned.Load(),
+		Shed:      s.shed.Load(),
+		TimedOut:  s.timedOut.Load(),
+		Degraded:  cache.Degraded,
+		Draining:  s.draining.Load(),
 		Served:    served,
 	}
 }

@@ -8,6 +8,7 @@ import (
 	"net/http/httptest"
 	"net/url"
 	"reflect"
+	"strconv"
 	"strings"
 	"sync"
 	"testing"
@@ -154,7 +155,9 @@ func TestATPGEndpointMatchesDirect(t *testing.T) {
 // options.
 func TestConcurrentRequestsSingleLearn(t *testing.T) {
 	const requests = 32
-	srv := New(Config{MaxConcurrent: 4})
+	// The queue must hold the whole burst: this test is about coalescing,
+	// not admission control (which TestQueueFullSheds covers).
+	srv := New(Config{MaxConcurrent: 4, MaxQueue: requests})
 	ts := httptest.NewServer(srv)
 	defer ts.Close()
 
@@ -429,6 +432,179 @@ func TestClientDisconnectFreesSlot(t *testing.T) {
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("post-abandonment request: status %d", resp.StatusCode)
+	}
+}
+
+// waitStats polls /v1/stats until ok holds (or fails the test after 20s).
+func waitStats(t *testing.T, ts *httptest.Server, ok func(StatsResponse) bool) {
+	t.Helper()
+	deadline := time.Now().Add(20 * time.Second)
+	for {
+		st := get[StatsResponse](t, ts, "/v1/stats")
+		if ok(st) {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("stats condition not reached: %+v", st)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestQueueFullSheds is the admission-control gate: with the pool busy and
+// no queue, the daemon must answer 429 immediately with a sane Retry-After
+// instead of parking the request forever — and must serve normally again
+// once the slot frees.
+func TestQueueFullSheds(t *testing.T) {
+	srv := New(Config{MaxConcurrent: 1, MaxQueue: -1}) // negative: no waiting at all
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	// Occupy the only slot with a run that takes many seconds uncancelled.
+	long := ATPGParams{Mode: "forbidden", Backtracks: 1000, Workers: 1}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		ts.URL+"/v1/atpg?"+long.Query().Encode(), strings.NewReader(benchText(t, gen.MustBuild("s953"))))
+	if err != nil {
+		t.Fatal(err)
+	}
+	hold := make(chan struct{})
+	go func() {
+		defer close(hold)
+		resp, err := http.DefaultClient.Do(req)
+		if err == nil {
+			resp.Body.Close()
+		}
+	}()
+	waitStats(t, ts, func(st StatsResponse) bool { return st.InFlight == 1 })
+
+	resp, err := http.Post(ts.URL+"/v1/learn", "text/plain", strings.NewReader(benchText(t, circuits.Figure2())))
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("overloaded daemon answered %d, want 429: %s", resp.StatusCode, data)
+	}
+	ra, err := strconv.Atoi(resp.Header.Get("Retry-After"))
+	if err != nil || ra < 1 || ra > 300 {
+		t.Fatalf("Retry-After = %q, want an integer in [1,300]", resp.Header.Get("Retry-After"))
+	}
+	if st := get[StatsResponse](t, ts, "/v1/stats"); st.Shed != 1 {
+		t.Fatalf("shed = %d, want 1 (stats %+v)", st.Shed, st)
+	}
+
+	// Freeing the slot restores normal service.
+	cancel()
+	<-hold
+	waitStats(t, ts, func(st StatsResponse) bool { return st.InFlight == 0 })
+	post[LearnResponse](t, ts, "/v1/learn", nil, benchText(t, circuits.Figure2()))
+}
+
+// TestLearnDeadlineExpires504 covers the deadline plumbing through the
+// learning path: the server-wide RequestTimeout caps an extravagant
+// per-request timeout=, the expired run answers 504, and the partial
+// result is never cached — a repeat request is a miss, not a hit.
+func TestLearnDeadlineExpires504(t *testing.T) {
+	srv := New(Config{RequestTimeout: time.Millisecond})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	body := benchText(t, gen.MustBuild("s953"))
+
+	params := LearnParams{Workers: 1, Timeout: 10 * time.Minute} // capped to 1ms by the server
+	resp, err := http.Post(ts.URL+"/v1/learn?"+params.Query().Encode(), "text/plain", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusGatewayTimeout {
+		t.Fatalf("expired learn answered %d, want 504: %s", resp.StatusCode, data)
+	}
+	st := get[StatsResponse](t, ts, "/v1/stats")
+	if st.TimedOut != 1 || st.InFlight != 0 {
+		t.Fatalf("stats after 504: %+v", st)
+	}
+	if canceled := srv.Store().Stats().LearnCanceled; canceled != 1 {
+		t.Fatalf("store learn canceled = %d, want 1", canceled)
+	}
+}
+
+// TestATPGDeadlineExpiresNeverCached is the deadline gate on the ATPG
+// path: with the snapshot prewarmed, a tight deadline expires mid-PODEM,
+// answers 504, and leaves nothing in the test-set cache — the repeat
+// request with the identical key runs from scratch.
+func TestATPGDeadlineExpiresNeverCached(t *testing.T) {
+	srv := New(Config{MaxConcurrent: 1})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	body := benchText(t, gen.MustBuild("s953"))
+	params := ATPGParams{Mode: "forbidden", Backtracks: 1000, MaxFaults: 60, Workers: 1}
+
+	// Prewarm the implication snapshot so the deadline lands in the ATPG
+	// stage, not in learning.
+	post[LearnResponse](t, ts, "/v1/learn", params.Learn.Query(), body)
+
+	expired := params
+	expired.Learn.Timeout = 30 * time.Millisecond
+	resp, err := http.Post(ts.URL+"/v1/atpg?"+expired.Query().Encode(), "text/plain", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusGatewayTimeout {
+		t.Fatalf("expired atpg answered %d, want 504: %s", resp.StatusCode, data)
+	}
+	waitStats(t, ts, func(st StatsResponse) bool { return st.TimedOut == 1 && st.InFlight == 0 })
+	if canceled := srv.Store().Stats().ATPGCanceled; canceled != 1 {
+		t.Fatalf("store atpg canceled = %d, want 1", canceled)
+	}
+
+	// The canceled run must not have polluted the cache: the same key
+	// misses and a full run executes.
+	full := post[ATPGResponse](t, ts, "/v1/atpg", params.Query(), body)
+	if full.TestsCache != "miss" {
+		t.Fatalf("repeat after 504 tests_cache = %q, want miss (the canceled run must not cache)", full.TestsCache)
+	}
+	if full.Total == 0 || full.Detected == 0 {
+		t.Fatalf("full run after 504 returned nothing: %+v", full)
+	}
+}
+
+// TestHealthzDraining: readiness must flip to 503/"draining" the moment
+// shutdown begins, and back when cleared.
+func TestHealthzDraining(t *testing.T) {
+	srv := New(Config{})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	if h := get[HealthResponse](t, ts, "/healthz"); h.Status != "ok" || h.Degraded {
+		t.Fatalf("fresh daemon health = %+v", h)
+	}
+
+	srv.SetDraining(true)
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var h HealthResponse
+	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable || h.Status != "draining" {
+		t.Fatalf("draining health: status %d body %+v, want 503/draining", resp.StatusCode, h)
+	}
+	if st := get[StatsResponse](t, ts, "/v1/stats"); !st.Draining {
+		t.Fatalf("stats not draining: %+v", st)
+	}
+
+	srv.SetDraining(false)
+	if h := get[HealthResponse](t, ts, "/healthz"); h.Status != "ok" {
+		t.Fatalf("health after drain cleared = %+v", h)
 	}
 }
 

@@ -23,10 +23,12 @@ import (
 // makes this a few milliseconds) and PODEM targets only the residue — the
 // classical incremental regression-ATPG flow.
 
-// ErrCanceled reports that the ATPG run executing a request was abandoned
-// by its client mid-run. Coalesced waiters whose own clients are alive
-// retry; the abandoning request's handler maps it to an abandoned-count.
-var ErrCanceled = errors.New("store: atpg run canceled")
+// ErrCanceled reports that the run (learning or ATPG) executing a request
+// was abandoned mid-flight — its client disconnected or its deadline
+// expired. Coalesced waiters whose own clients are alive retry; the
+// abandoning request's handler maps it to a 503 or 504. Canceled runs are
+// never cached.
+var ErrCanceled = errors.New("store: run canceled")
 
 // ATPGArtifact is one cached test-generation result. Immutable after
 // creation; safe to share across concurrent readers.
@@ -229,10 +231,12 @@ func (s *Store) lookupSeed(fp string, c *netlist.Circuit) (*ATPGArtifact, error)
 		return art, nil
 	}
 	s.mu.Unlock()
-	if s.opt.Dir != "" {
-		if art, err := s.loadDiskATPG(fp, nil); err == nil {
+	if s.diskAvailable() {
+		art, err := s.loadDiskATPG(fp, nil)
+		if err == nil {
 			return art, nil
 		}
+		s.noteDiskError(err)
 	}
 	return nil, fmt.Errorf("store: unknown reuse fingerprint %s", fp)
 }
@@ -312,10 +316,12 @@ func (s *Store) atpgResolve(fp string, req ATPGRequest, seed *ATPGArtifact) (*AT
 // donor), then persisting best-effort.
 func (s *Store) atpgBuild(fp string, req ATPGRequest, seed *ATPGArtifact) (*ATPGArtifact, Source, *ATPGReuse, error) {
 	c := req.Artifact.Circuit
-	if s.opt.Dir != "" {
-		if art, err := s.loadDiskATPG(fp, c); err == nil {
+	if s.diskAvailable() {
+		art, err := s.loadDiskATPG(fp, c)
+		if err == nil {
 			return art, SourceDisk, nil, nil
 		}
+		s.noteDiskError(err)
 	}
 
 	sig := PISignature(c)
@@ -359,11 +365,9 @@ func (s *Store) atpgBuild(fp string, req ATPGRequest, seed *ATPGArtifact) (*ATPG
 		PISignature: sig,
 		Result:      res,
 	}
-	if s.opt.Dir != "" {
+	if s.diskAvailable() {
 		if err := s.saveDiskATPG(art); err != nil {
-			s.mu.Lock()
-			s.diskFails++
-			s.mu.Unlock()
+			s.noteDiskError(err)
 		}
 	}
 	return art, SourceLearned, reuse, nil

@@ -3,7 +3,6 @@ package store
 import (
 	"bufio"
 	"fmt"
-	"os"
 	"path/filepath"
 	"strings"
 
@@ -35,10 +34,10 @@ func (s *Store) diskTestsPath(fp string) string {
 // saveDiskATPG persists the artifact.
 func (s *Store) saveDiskATPG(art *ATPGArtifact) error {
 	path := s.diskTestsPath(art.Fingerprint)
-	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+	if err := s.fs.MkdirAll(filepath.Dir(path), 0o755); err != nil {
 		return err
 	}
-	return writeAtomic(path, func(w *bufio.Writer) error {
+	return writeAtomic(s.fs, path, func(w *bufio.Writer) error {
 		res := &art.Result
 		fmt.Fprintln(w, testsFormatTag)
 		fmt.Fprintf(w, "learn %s\n", art.LearnFP)
@@ -105,7 +104,7 @@ func parseStatus(b byte) (atpg.FaultStatus, bool) {
 // loaded — enough to replay. Any inconsistency is an error and the caller
 // falls back to running.
 func (s *Store) loadDiskATPG(fp string, c *netlist.Circuit) (*ATPGArtifact, error) {
-	f, err := os.Open(s.diskTestsPath(fp))
+	f, err := s.fs.Open(s.diskTestsPath(fp))
 	if err != nil {
 		return nil, err
 	}

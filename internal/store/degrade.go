@@ -1,0 +1,99 @@
+package store
+
+import (
+	"time"
+)
+
+// Graceful cache degradation: a disk cache that starts erroring (full
+// disk, yanked mount, permission flip) must not fail or slow requests —
+// the artifacts it persists are a restart optimization, and memory plus
+// re-learning always produces the same answer. On the first I/O failure
+// the store flips to a sticky memory-only "degraded" state: every disk
+// read and write is skipped, requests are served purely from the LRU and
+// fresh runs, and /v1/stats exposes the state. A periodic re-probe
+// (Options.ReprobeInterval) writes-and-removes a sentinel file; the first
+// success flips the disk path back on, so a transient outage heals without
+// a restart.
+//
+// Classification matters: a cache miss (fs.ErrNotExist) and a corrupt
+// artifact (format error from a healthy disk) are normal operation and do
+// not degrade — only real I/O failures (isDiskIOErr) do.
+
+// diskAvailable reports whether disk operations should be attempted right
+// now: persistence is configured, and the store is either healthy or a
+// due re-probe just succeeded.
+func (s *Store) diskAvailable() bool {
+	if s.opt.Dir == "" {
+		return false
+	}
+	if !s.degraded.Load() {
+		return true
+	}
+	return s.reprobe()
+}
+
+// noteDiskError records the outcome of a disk interaction. Cache misses
+// are ignored; everything else counts as a disk failure, and I/O errors
+// additionally flip the store to memory-only until a re-probe succeeds.
+func (s *Store) noteDiskError(err error) {
+	if err == nil || isNotExist(err) {
+		return
+	}
+	io := isDiskIOErr(err)
+	s.mu.Lock()
+	s.diskFails++
+	if io && !s.degraded.Load() {
+		s.degraded.Store(true)
+		s.degradations++
+	}
+	s.mu.Unlock()
+	if io {
+		s.probeMu.Lock()
+		s.nextProbe = time.Now().Add(s.opt.ReprobeInterval)
+		s.probeMu.Unlock()
+	}
+}
+
+// reprobe attempts to re-enable a degraded disk, at most once per
+// ReprobeInterval across all callers. It returns true when the disk is
+// healthy again.
+func (s *Store) reprobe() bool {
+	s.probeMu.Lock()
+	defer s.probeMu.Unlock()
+	if !s.degraded.Load() {
+		return true // another caller healed it while we waited
+	}
+	if time.Now().Before(s.nextProbe) {
+		return false
+	}
+	s.nextProbe = time.Now().Add(s.opt.ReprobeInterval)
+	if err := s.probeDisk(); err != nil {
+		return false
+	}
+	s.degraded.Store(false)
+	return true
+}
+
+// probeDisk exercises the write path end to end: create, write, close,
+// remove a sentinel under the cache dir.
+func (s *Store) probeDisk() error {
+	if err := s.fs.MkdirAll(s.opt.Dir, 0o755); err != nil {
+		return err
+	}
+	f, err := s.fs.CreateTemp(s.opt.Dir, ".probe*")
+	if err != nil {
+		return err
+	}
+	name := f.Name()
+	_, werr := f.Write([]byte("probe\n"))
+	cerr := f.Close()
+	s.fs.Remove(name)
+	if werr != nil {
+		return werr
+	}
+	return cerr
+}
+
+// Degraded reports whether the store is currently serving memory-only
+// because of disk I/O failures.
+func (s *Store) Degraded() bool { return s.degraded.Load() }

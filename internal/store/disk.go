@@ -2,8 +2,10 @@ package store
 
 import (
 	"bufio"
+	"errors"
 	"fmt"
-	"os"
+	"io"
+	"io/fs"
 	"path/filepath"
 	"strconv"
 	"strings"
@@ -24,6 +26,11 @@ import (
 // never leaves a partial artifact a later load would trust. The .imply
 // file is exactly what imply.LoadSnapshot reads, so cached relations are
 // also inspectable and reusable with the standalone tools.
+//
+// Every operation goes through the store's FS so that I/O failures can be
+// injected (internal/chaos) and classified: an I/O error on any of these
+// paths downgrades the store to memory-only (see degrade.go) instead of
+// failing the request that happened to touch the disk.
 
 // diskPaths returns the two file paths for a fingerprint.
 func (s *Store) diskPaths(fp string) (implyPath, tiesPath string) {
@@ -37,10 +44,10 @@ func (s *Store) diskPaths(fp string) (implyPath, tiesPath string) {
 // half-artifact.
 func (s *Store) saveDisk(art *Artifact) error {
 	implyPath, tiesPath := s.diskPaths(art.Fingerprint)
-	if err := os.MkdirAll(filepath.Dir(implyPath), 0o755); err != nil {
+	if err := s.fs.MkdirAll(filepath.Dir(implyPath), 0o755); err != nil {
 		return err
 	}
-	if err := writeAtomic(tiesPath, func(w *bufio.Writer) error {
+	if err := writeAtomic(s.fs, tiesPath, func(w *bufio.Writer) error {
 		for _, tie := range art.Ties() {
 			if _, err := fmt.Fprintf(w, "%s %s %d\n",
 				art.Circuit.NameOf(tie.Node), tie.Val, tie.Frame); err != nil {
@@ -51,7 +58,7 @@ func (s *Store) saveDisk(art *Artifact) error {
 	}); err != nil {
 		return err
 	}
-	return writeAtomic(implyPath, func(w *bufio.Writer) error {
+	return writeAtomic(s.fs, implyPath, func(w *bufio.Writer) error {
 		return art.DB.Serialize(w)
 	})
 }
@@ -61,15 +68,15 @@ func (s *Store) saveDisk(art *Artifact) error {
 // an error; the caller falls back to learning.
 func (s *Store) loadDisk(fp string, c *netlist.Circuit) (*Artifact, error) {
 	implyPath, tiesPath := s.diskPaths(fp)
-	rf, err := os.Open(implyPath)
+	rf, err := s.fs.Open(implyPath)
 	if err != nil {
 		// A .ties without its .imply is the debris of a writer that crashed
 		// between the two renames; sweep it instead of leaving the
 		// half-artifact to future load-order reasoning. The re-learn that
 		// follows rewrites both files.
-		if os.IsNotExist(err) {
-			if _, terr := os.Stat(tiesPath); terr == nil {
-				os.Remove(tiesPath)
+		if isNotExist(err) {
+			if _, terr := s.fs.Stat(tiesPath); terr == nil {
+				s.fs.Remove(tiesPath)
 			}
 		}
 		return nil, err
@@ -80,7 +87,7 @@ func (s *Store) loadDisk(fp string, c *netlist.Circuit) (*Artifact, error) {
 		return nil, err
 	}
 
-	tf, err := os.Open(tiesPath)
+	tf, err := s.fs.Open(tiesPath)
 	if err != nil {
 		return nil, err
 	}
@@ -99,9 +106,12 @@ func (s *Store) loadDisk(fp string, c *netlist.Circuit) (*Artifact, error) {
 	}, nil
 }
 
+// isNotExist reports a plain cache miss (as opposed to an I/O failure).
+func isNotExist(err error) bool { return errors.Is(err, fs.ErrNotExist) }
+
 // readTies parses the ties file, splitting combinational (frame 0) from
 // sequential ties the way learn.Result does.
-func readTies(c *netlist.Circuit, f *os.File) (comb, seq []learn.Tie, err error) {
+func readTies(c *netlist.Circuit, f io.Reader) (comb, seq []learn.Tie, err error) {
 	sc := bufio.NewScanner(f)
 	lineNo := 0
 	for sc.Scan() {
@@ -142,13 +152,15 @@ func readTies(c *netlist.Circuit, f *os.File) (comb, seq []learn.Tie, err error)
 }
 
 // writeAtomic writes path through a temp file in the same directory and
-// renames it into place.
-func writeAtomic(path string, fill func(*bufio.Writer) error) error {
-	tmp, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp*")
+// renames it into place. A failure at any step — including an injected
+// short write — leaves at most a temp file behind, never a partial file
+// under the final name.
+func writeAtomic(fsys FS, path string, fill func(*bufio.Writer) error) error {
+	tmp, err := fsys.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp*")
 	if err != nil {
 		return err
 	}
-	defer os.Remove(tmp.Name())
+	defer fsys.Remove(tmp.Name())
 	w := bufio.NewWriter(tmp)
 	if err := fill(w); err != nil {
 		tmp.Close()
@@ -161,5 +173,5 @@ func writeAtomic(path string, fill func(*bufio.Writer) error) error {
 	if err := tmp.Close(); err != nil {
 		return err
 	}
-	return os.Rename(tmp.Name(), path)
+	return fsys.Rename(tmp.Name(), path)
 }

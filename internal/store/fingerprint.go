@@ -23,8 +23,9 @@ import (
 // Parallelism (sharded learning is bit-identical for every worker count),
 // DisablePacked and PackedLanes (the packed and scalar simulation routes
 // are bit-identical for every lane count — TestPackedLearningEquivalence),
-// and KeepRows (affects only the Table 1 row dump). Unset options are
-// folded to their effective defaults first, so an explicit
+// KeepRows (affects only the Table 1 row dump), and Cancel (an execution
+// knob; canceled runs are never cached at all). Unset options are folded
+// to their effective defaults first, so an explicit
 // Options{MaxFrames: 50} and the zero value hash identically.
 func Fingerprint(c *netlist.Circuit, opt learn.Options) string {
 	h := sha256.New()

@@ -1,0 +1,57 @@
+package store
+
+import (
+	"errors"
+	"io"
+	"io/fs"
+	"os"
+)
+
+// FS abstracts the handful of filesystem operations the disk cache
+// performs. The default implementation (osFS) passes straight through to
+// the os package; internal/chaos wraps it with deterministic fault
+// injection so the degradation machinery can be tested against disks that
+// error, short-write, or crash mid-rename.
+//
+// Implementations must report failures as *fs.PathError (as the os package
+// does): the store classifies an error as an I/O failure — and downgrades
+// itself to memory-only — exactly when errors.As finds a path error that
+// is not fs.ErrNotExist. Format-level problems (a corrupt artifact that
+// opens and reads fine) are deliberately not path errors and fall back to
+// re-running without touching the degraded state.
+type FS interface {
+	Open(name string) (File, error)
+	CreateTemp(dir, pattern string) (File, error)
+	Rename(oldpath, newpath string) error
+	MkdirAll(path string, perm os.FileMode) error
+	Remove(name string) error
+	Stat(name string) (fs.FileInfo, error)
+}
+
+// File is the slice of *os.File the disk cache uses.
+type File interface {
+	io.Reader
+	io.Writer
+	io.Closer
+	Name() string
+}
+
+// osFS is the real filesystem.
+type osFS struct{}
+
+func (osFS) Open(name string) (File, error) { return os.Open(name) }
+func (osFS) CreateTemp(dir, pattern string) (File, error) {
+	return os.CreateTemp(dir, pattern)
+}
+func (osFS) Rename(oldpath, newpath string) error         { return os.Rename(oldpath, newpath) }
+func (osFS) MkdirAll(path string, perm os.FileMode) error { return os.MkdirAll(path, perm) }
+func (osFS) Remove(name string) error                     { return os.Remove(name) }
+func (osFS) Stat(name string) (fs.FileInfo, error)        { return os.Stat(name) }
+
+// isDiskIOErr reports whether err is a filesystem I/O failure (as opposed
+// to a cache miss or a format-level artifact problem): a *fs.PathError
+// that is not "file does not exist".
+func isDiskIOErr(err error) bool {
+	var pe *fs.PathError
+	return errors.As(err, &pe) && !errors.Is(err, fs.ErrNotExist)
+}

@@ -20,7 +20,9 @@ package store
 
 import (
 	"container/list"
+	"errors"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/imply"
@@ -38,11 +40,25 @@ type Options struct {
 	// Dir enables on-disk persistence of learned artifacts under the given
 	// directory (see disk.go for the layout). Empty disables persistence.
 	Dir string
+
+	// FS overrides the filesystem the disk cache talks to (default: the
+	// real one). internal/chaos injects faults through this seam.
+	FS FS
+
+	// ReprobeInterval bounds how often a degraded (memory-only, see
+	// degrade.go) store re-probes the disk to heal itself (default 5s).
+	ReprobeInterval time.Duration
 }
 
 func (o *Options) defaults() {
 	if o.MaxEntries <= 0 {
 		o.MaxEntries = 64
+	}
+	if o.FS == nil {
+		o.FS = osFS{}
+	}
+	if o.ReprobeInterval <= 0 {
+		o.ReprobeInterval = 5 * time.Second
 	}
 }
 
@@ -118,8 +134,19 @@ type Stats struct {
 	Misses    int64 `json:"misses"`     // requests that found nothing cached
 	Learns    int64 `json:"learns"`     // learning runs actually executed
 	Evictions int64 `json:"evictions"`  // LRU evictions
-	DiskFails int64 `json:"disk_fails"` // best-effort persistence failures
+	DiskFails int64 `json:"disk_fails"` // failed disk reads/writes (misses excluded)
 	InFlight  int   `json:"in_flight"`  // learning runs executing right now
+
+	// LearnCanceled counts learning runs abandoned mid-flight (client gone
+	// or deadline expired); canceled runs are never cached.
+	LearnCanceled int64 `json:"learn_canceled"`
+
+	// Degraded reports the disk cache is offline after an I/O failure and
+	// the store is serving memory-only (it re-probes periodically and
+	// heals itself); Degradations counts how many times it entered that
+	// state.
+	Degraded     bool  `json:"degraded"`
+	Degradations int64 `json:"degradations"`
 
 	// The test-set (ATPG artifact) cache, same shape.
 	ATPGEntries   int   `json:"atpg_entries"`
@@ -138,6 +165,13 @@ type Stats struct {
 // concurrent use.
 type Store struct {
 	opt Options
+	fs  FS
+
+	// Degradation state (degrade.go): degraded flips on the first disk
+	// I/O failure and back off when a re-probe succeeds.
+	degraded  atomic.Bool
+	probeMu   sync.Mutex
+	nextProbe time.Time
 
 	mu       sync.Mutex
 	lru      *list.List // of *entry, most recent first
@@ -150,7 +184,8 @@ type Store struct {
 	atpgByFP     map[string]*list.Element
 	atpgInflight map[string]*atpgFlight
 
-	hits, coalesced, diskHits, misses, learns, evictions, diskFails int64
+	hits, coalesced, diskHits, misses, learns, evictions, diskFails,
+	learnCanceled, degradations int64
 
 	atpgHits, atpgCoalesced, atpgDiskHits, atpgMisses, atpgRuns,
 	atpgEvictions, atpgReuses, atpgCanceled int64
@@ -176,6 +211,7 @@ func New(opt Options) *Store {
 	opt.defaults()
 	return &Store{
 		opt:          opt,
+		fs:           opt.FS,
 		lru:          list.New(),
 		byFP:         map[string]*list.Element{},
 		inflight:     map[string]*flight{},
@@ -188,13 +224,30 @@ func New(opt Options) *Store {
 // Learn resolves the artifact for (c, lopt), running at most one learning
 // run per fingerprint no matter how many goroutines ask concurrently. The
 // returned Source reports how the artifact was obtained.
+//
+// lopt.Cancel (like every execution knob) is excluded from the
+// fingerprint. A canceled run returns ErrCanceled and is never cached;
+// coalesced waiters whose own requests are still live take over with a
+// fresh run instead of inheriting the abandoner's error.
 func (s *Store) Learn(c *netlist.Circuit, lopt learn.Options) (*Artifact, Source, error) {
 	// KeepRows inflates the artifact with Table 1 rows no consumer of the
 	// store reads, and is excluded from the fingerprint; force it off so
 	// the cached artifact is the same either way.
 	lopt.KeepRows = false
 	fp := Fingerprint(c, lopt)
+	for {
+		art, src, err := s.learnResolve(fp, c, lopt)
+		if errors.Is(err, ErrCanceled) && !chanceled(lopt.Cancel) {
+			// The request executing the run lost its client; ours is still
+			// here. Take over with a fresh attempt.
+			continue
+		}
+		return art, src, err
+	}
+}
 
+// learnResolve is the LRU + singleflight layer for one fingerprint.
+func (s *Store) learnResolve(fp string, c *netlist.Circuit, lopt learn.Options) (*Artifact, Source, error) {
 	s.mu.Lock()
 	if el, ok := s.byFP[fp]; ok {
 		s.lru.MoveToFront(el)
@@ -206,7 +259,13 @@ func (s *Store) Learn(c *netlist.Circuit, lopt learn.Options) (*Artifact, Source
 	if f, ok := s.inflight[fp]; ok {
 		s.coalesced++
 		s.mu.Unlock()
-		<-f.done
+		// A coalesced waiter whose own client disconnects must release its
+		// compute slot immediately, not ride out the flight owner's run.
+		select {
+		case <-f.done:
+		case <-lopt.Cancel:
+			return nil, SourceCoalesced, ErrCanceled
+		}
 		if f.err != nil {
 			return nil, SourceCoalesced, f.err
 		}
@@ -222,6 +281,9 @@ func (s *Store) Learn(c *netlist.Circuit, lopt learn.Options) (*Artifact, Source
 	delete(s.inflight, fp)
 	switch {
 	case err != nil:
+		if errors.Is(err, ErrCanceled) {
+			s.learnCanceled++
+		}
 	case src == SourceDisk:
 		s.diskHits++
 		s.insertLocked(fp, art)
@@ -239,14 +301,20 @@ func (s *Store) Learn(c *netlist.Circuit, lopt learn.Options) (*Artifact, Source
 
 // build produces the artifact for fp outside the store lock: from disk if
 // persisted, otherwise by running learning (and then persisting,
-// best-effort).
+// best-effort). Disk failures downgrade the store to memory-only
+// (degrade.go) instead of failing the request.
 func (s *Store) build(fp string, c *netlist.Circuit, lopt learn.Options) (*Artifact, Source, error) {
-	if s.opt.Dir != "" {
-		if art, err := s.loadDisk(fp, c); err == nil {
+	if s.diskAvailable() {
+		art, err := s.loadDisk(fp, c)
+		if err == nil {
 			return art, SourceDisk, nil
 		}
+		s.noteDiskError(err)
 	}
 	lr := learn.Learn(c, lopt)
+	if lr.Canceled {
+		return nil, SourceLearned, ErrCanceled
+	}
 	art := &Artifact{
 		Fingerprint:   fp,
 		Circuit:       c,
@@ -256,11 +324,9 @@ func (s *Store) build(fp string, c *netlist.Circuit, lopt learn.Options) (*Artif
 		EquivClasses:  len(lr.EquivClasses),
 		LearnDuration: lr.Stats.Duration,
 	}
-	if s.opt.Dir != "" {
+	if s.diskAvailable() {
 		if err := s.saveDisk(art); err != nil {
-			s.mu.Lock()
-			s.diskFails++
-			s.mu.Unlock()
+			s.noteDiskError(err)
 		}
 	}
 	return art, SourceLearned, nil
@@ -297,6 +363,10 @@ func (s *Store) Stats() Stats {
 		Evictions: s.evictions,
 		DiskFails: s.diskFails,
 		InFlight:  len(s.inflight),
+
+		LearnCanceled: s.learnCanceled,
+		Degraded:      s.degraded.Load(),
+		Degradations:  s.degradations,
 
 		ATPGEntries:   s.atpgLRU.Len(),
 		ATPGHits:      s.atpgHits,

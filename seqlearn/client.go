@@ -6,8 +6,10 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math/rand/v2"
 	"net/http"
 	"net/url"
+	"strconv"
 	"strings"
 	"time"
 
@@ -39,26 +41,71 @@ type (
 	ServiceHealth = server.HealthResponse
 )
 
+// RetryPolicy configures the client's automatic retry of compute
+// requests. Retries cover only idempotent outcomes — transport errors
+// where no response arrived, 429 (admission queue full), 502 and 503
+// (daemon restarting or a proxy between us and it). A 504 is never
+// retried: the deadline is the caller's contract and the daemon already
+// spent it. Backoff is capped exponential with full jitter on the upper
+// half; a Retry-After header from the daemon raises the wait (still
+// capped at MaxDelay so one pessimistic estimate cannot park the client
+// for minutes).
+type RetryPolicy struct {
+	// MaxAttempts bounds the total number of tries, the first included
+	// (default 4; 1 disables retrying).
+	MaxAttempts int
+	// BaseDelay is the first backoff (default 100ms); attempt n waits
+	// about BaseDelay·2ⁿ⁻¹, jittered.
+	BaseDelay time.Duration
+	// MaxDelay caps every wait, Retry-After included (default 5s).
+	MaxDelay time.Duration
+}
+
+func (p RetryPolicy) normalized() RetryPolicy {
+	if p.MaxAttempts <= 0 {
+		p.MaxAttempts = 4
+	}
+	if p.BaseDelay <= 0 {
+		p.BaseDelay = 100 * time.Millisecond
+	}
+	if p.MaxDelay <= 0 {
+		p.MaxDelay = 5 * time.Second
+	}
+	return p
+}
+
 // Client is a thin client for a seqlearnd daemon: it serializes circuits
 // to the .bench wire form, posts them, and decodes the JSON answers.
 // The zero Client is not usable; construct with NewClient. A Client is
 // safe for concurrent use.
 type Client struct {
-	base string
-	hc   *http.Client
+	base  string
+	hc    *http.Client
+	retry RetryPolicy
 }
 
 // NewClient returns a client for the daemon at base (e.g.
 // "http://127.0.0.1:8344"). There is no request timeout by default —
 // learning a large netlist legitimately takes minutes; use SetHTTPClient
-// to bound it.
+// to bound it. Compute requests retry per the default RetryPolicy; use
+// SetRetryPolicy to tune or disable that.
 func NewClient(base string) *Client {
-	return &Client{base: strings.TrimRight(base, "/"), hc: &http.Client{}}
+	return &Client{
+		base:  strings.TrimRight(base, "/"),
+		hc:    &http.Client{},
+		retry: RetryPolicy{}.normalized(),
+	}
 }
 
 // SetHTTPClient replaces the underlying HTTP client (timeouts, transport
 // tuning, test doubles).
 func (cl *Client) SetHTTPClient(hc *http.Client) { cl.hc = hc }
+
+// SetRetryPolicy replaces the compute-request retry policy. Zero fields
+// take their defaults; RetryPolicy{MaxAttempts: 1} disables retrying.
+// Stats, Health and WaitHealthy never retry internally regardless — a
+// probe must report the daemon's state now, not eventually.
+func (cl *Client) SetRetryPolicy(p RetryPolicy) { cl.retry = p.normalized() }
 
 // Learn asks the daemon for the learned implication summary of c,
 // resolving through the daemon's snapshot cache. Canceling ctx aborts the
@@ -99,16 +146,96 @@ func post[T any](ctx context.Context, cl *Client, path string, q url.Values, c *
 	}
 	q.Set("name", c.Name)
 	u := cl.base + path + "?" + q.Encode()
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost, u, &body)
-	if err != nil {
-		return nil, fmt.Errorf("seqlearn: client: %w", err)
+	pol := cl.retry
+	for attempt := 1; ; attempt++ {
+		// The serialized netlist is buffered once; every attempt replays
+		// the same bytes.
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost, u, bytes.NewReader(body.Bytes()))
+		if err != nil {
+			return nil, fmt.Errorf("seqlearn: client: %w", err)
+		}
+		req.Header.Set("Content-Type", "text/plain")
+		resp, err := cl.hc.Do(req)
+		last := attempt >= pol.MaxAttempts
+		if err != nil {
+			// Transport failure: no response arrived, so nothing ran to
+			// completion and a retry is safe — unless the caller's own
+			// context ended the request.
+			if last || ctx.Err() != nil {
+				return nil, fmt.Errorf("seqlearn: client: %w", err)
+			}
+		} else if last || !retryableStatus(resp.StatusCode) {
+			return decode[T](path, resp)
+		} else {
+			// A shed or unavailable daemon told us to come back; honor its
+			// Retry-After in the backoff and drop the body.
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			err = sleepCtx(ctx, pol.delay(attempt, retryAfter(resp)))
+			if err != nil {
+				return nil, fmt.Errorf("seqlearn: client: %s retry abandoned: %w", path, err)
+			}
+			continue
+		}
+		if err := sleepCtx(ctx, pol.delay(attempt, 0)); err != nil {
+			return nil, fmt.Errorf("seqlearn: client: %s retry abandoned: %w", path, err)
+		}
 	}
-	req.Header.Set("Content-Type", "text/plain")
-	resp, err := cl.hc.Do(req)
-	if err != nil {
-		return nil, fmt.Errorf("seqlearn: client: %w", err)
+}
+
+// retryableStatus reports whether a response status is safe and useful to
+// retry: the daemon shed the request before running it (429), or an
+// infrastructure layer failed it (502/503). 504 is excluded — the
+// deadline was the caller's budget and it has been spent.
+func retryableStatus(code int) bool {
+	switch code {
+	case http.StatusTooManyRequests, http.StatusBadGateway, http.StatusServiceUnavailable:
+		return true
 	}
-	return decode[T](path, resp)
+	return false
+}
+
+// retryAfter parses the Retry-After header (seconds form) of a rejection,
+// 0 when absent or malformed.
+func retryAfter(resp *http.Response) time.Duration {
+	secs, err := strconv.Atoi(resp.Header.Get("Retry-After"))
+	if err != nil || secs < 0 {
+		return 0
+	}
+	return time.Duration(secs) * time.Second
+}
+
+// delay computes the wait before the next attempt: capped exponential
+// backoff with full jitter on the upper half, raised to the server's
+// Retry-After advice, everything capped at MaxDelay.
+func (p RetryPolicy) delay(attempt int, advised time.Duration) time.Duration {
+	d := p.BaseDelay
+	for i := 1; i < attempt && d < p.MaxDelay; i++ {
+		d *= 2
+	}
+	if d > p.MaxDelay {
+		d = p.MaxDelay
+	}
+	d = d/2 + rand.N(d/2+1)
+	if advised > d {
+		d = advised
+	}
+	if d > p.MaxDelay {
+		d = p.MaxDelay
+	}
+	return d
+}
+
+// sleepCtx waits d or until ctx ends, whichever is first.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
 }
 
 func get[T any](ctx context.Context, cl *Client, path string) (*T, error) {
@@ -143,11 +270,16 @@ func decode[T any](path string, resp *http.Response) (*T, error) {
 	return out, nil
 }
 
-// WaitHealthy polls /healthz until the daemon answers, the deadline
+// WaitHealthy polls /healthz until the daemon answers "ok", the deadline
 // passes, or ctx is canceled — the startup handshake for scripts and tests
-// that just spawned a daemon process.
+// that just spawned a daemon process. Probes back off exponentially (5ms
+// doubling to a 250ms ceiling), so a fast-starting daemon is noticed in
+// milliseconds without hammering a slow one. A draining daemon answers
+// 503 and therefore never reads as healthy.
 func (cl *Client) WaitHealthy(ctx context.Context, timeout time.Duration) error {
 	deadline := time.Now().Add(timeout)
+	const maxProbeGap = 250 * time.Millisecond
+	gap := 5 * time.Millisecond
 	for {
 		if _, err := cl.Health(ctx); err == nil {
 			return nil
@@ -156,6 +288,11 @@ func (cl *Client) WaitHealthy(ctx context.Context, timeout time.Duration) error 
 		} else if time.Now().After(deadline) {
 			return fmt.Errorf("seqlearn: daemon at %s not healthy after %v: %w", cl.base, timeout, err)
 		}
-		time.Sleep(20 * time.Millisecond)
+		if err := sleepCtx(ctx, gap); err != nil {
+			return fmt.Errorf("seqlearn: waiting for daemon at %s: %w", cl.base, err)
+		}
+		if gap *= 2; gap > maxProbeGap {
+			gap = maxProbeGap
+		}
 	}
 }

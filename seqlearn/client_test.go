@@ -2,7 +2,12 @@ package seqlearn_test
 
 import (
 	"context"
+	"encoding/json"
+	"io"
+	"net/http"
 	"net/http/httptest"
+	"strings"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -98,5 +103,100 @@ func TestClientContextCancellation(t *testing.T) {
 	cancel()
 	if _, err := cl.Learn(ctx, seqlearn.Figure2(), seqlearn.ServiceLearnParams{}); err == nil {
 		t.Fatal("canceled context did not abort the request")
+	}
+}
+
+// fastRetry is a test policy that keeps backoff waits microscopic.
+var fastRetry = seqlearn.RetryPolicy{MaxAttempts: 4, BaseDelay: time.Millisecond, MaxDelay: 5 * time.Millisecond}
+
+// TestClientRetriesShedRequests: a daemon that sheds twice and then
+// serves must look like one successful call — with the full netlist body
+// replayed on every attempt.
+func TestClientRetriesShedRequests(t *testing.T) {
+	var attempts atomic.Int64
+	real := server.New(server.Config{})
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method == http.MethodPost && attempts.Add(1) <= 2 {
+			// Shed with an extravagant Retry-After: the client must cap it
+			// at MaxDelay instead of parking for half a minute.
+			io.Copy(io.Discard, r.Body)
+			w.Header().Set("Retry-After", "30")
+			w.WriteHeader(http.StatusTooManyRequests)
+			json.NewEncoder(w).Encode(map[string]string{"error": "queue full"})
+			return
+		}
+		real.ServeHTTP(w, r)
+	}))
+	defer ts.Close()
+
+	cl := seqlearn.NewClient(ts.URL)
+	cl.SetRetryPolicy(fastRetry)
+	start := time.Now()
+	lr, err := cl.Learn(context.Background(), seqlearn.Figure2(), seqlearn.ServiceLearnParams{})
+	if err != nil {
+		t.Fatalf("retrying client gave up: %v", err)
+	}
+	if got := attempts.Load(); got != 3 {
+		t.Fatalf("attempts = %d, want 3 (two sheds, one success)", got)
+	}
+	if lr.Cache != "miss" || lr.Relations == 0 {
+		t.Fatalf("served response after retries: %+v", lr)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("Retry-After not capped by MaxDelay: took %v", elapsed)
+	}
+}
+
+// TestClientDoesNotRetryTimeouts: 504 means the request's own deadline
+// was spent — retrying would silently double the caller's budget.
+func TestClientDoesNotRetryTimeouts(t *testing.T) {
+	var attempts atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		attempts.Add(1)
+		io.Copy(io.Discard, r.Body)
+		w.WriteHeader(http.StatusGatewayTimeout)
+		json.NewEncoder(w).Encode(map[string]string{"error": "request deadline expired mid-run"})
+	}))
+	defer ts.Close()
+
+	cl := seqlearn.NewClient(ts.URL)
+	cl.SetRetryPolicy(fastRetry)
+	_, err := cl.Learn(context.Background(), seqlearn.Figure2(), seqlearn.ServiceLearnParams{})
+	if err == nil || !strings.Contains(err.Error(), "deadline expired") {
+		t.Fatalf("err = %v, want the daemon's 504 message", err)
+	}
+	if got := attempts.Load(); got != 1 {
+		t.Fatalf("attempts = %d, want exactly 1 (504 is not retryable)", got)
+	}
+}
+
+// TestClientRetryGivesUp: a persistently overloaded daemon costs exactly
+// MaxAttempts tries and then surfaces its rejection.
+func TestClientRetryGivesUp(t *testing.T) {
+	var attempts atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		attempts.Add(1)
+		io.Copy(io.Discard, r.Body)
+		w.WriteHeader(http.StatusServiceUnavailable)
+		json.NewEncoder(w).Encode(map[string]string{"error": "restarting"})
+	}))
+	defer ts.Close()
+
+	cl := seqlearn.NewClient(ts.URL)
+	cl.SetRetryPolicy(fastRetry)
+	if _, err := cl.Learn(context.Background(), seqlearn.Figure2(), seqlearn.ServiceLearnParams{}); err == nil {
+		t.Fatal("persistent 503 reported success")
+	}
+	if got := attempts.Load(); got != int64(fastRetry.MaxAttempts) {
+		t.Fatalf("attempts = %d, want %d", got, fastRetry.MaxAttempts)
+	}
+
+	// Probes never retry internally: one 503 is one failed Stats call.
+	attempts.Store(0)
+	if _, err := cl.Stats(context.Background()); err == nil {
+		t.Fatal("Stats on a 503 daemon reported success")
+	}
+	if got := attempts.Load(); got != 1 {
+		t.Fatalf("Stats attempts = %d, want 1 (GETs are single-shot)", got)
 	}
 }
