@@ -29,6 +29,7 @@ import (
 	"repro/internal/gen"
 	"repro/internal/learn"
 	"repro/internal/logic"
+	"repro/internal/obs"
 	"repro/internal/server"
 	"repro/seqlearn"
 )
@@ -63,8 +64,15 @@ func main() {
 		frames    = flag.Int("frames", 24, "sequence length (faultsim)")
 		maxFaults = flag.Int("max-faults", 200, "ATPG fault-list bound (service)")
 		out       = flag.String("out", "", "output path (default BENCH_<bench>.json, - = stdout)")
+		gate      = flag.Float64("gate-overhead", 0, "service: fail if instrumentation overhead on the warm paths exceeds this fraction (0 = no gate)")
+		version   = flag.Bool("version", false, "print build identity and exit")
 	)
 	flag.Parse()
+
+	if *version {
+		fmt.Println(obs.VersionString("benchjson"))
+		return
+	}
 
 	if _, ok := gen.Lookup(*circuit); !ok {
 		fmt.Fprintf(os.Stderr, "benchjson: unknown suite circuit %q\n", *circuit)
@@ -80,7 +88,7 @@ func main() {
 	case "faultsim":
 		rep, summary = runFaultSim(*circuit, *frames)
 	case "service":
-		rep, summary = runService(*circuit, *maxFaults)
+		rep, summary = runService(*circuit, *maxFaults, *gate)
 	case "learn":
 		rep, summary = runLearn(*circuit)
 	default:
@@ -219,7 +227,16 @@ func runLearn(circuit string) (report, string) {
 // artifact, not just the snapshot), plus the incremental-reuse path on a
 // mutated revision of the circuit, all measured end to end through HTTP on
 // a loopback listener.
-func runService(circuit string, maxFaults int) (report, string) {
+//
+// When gate > 0 the run also measures the warm paths against an identical
+// daemon with instrumentation compiled out (Config.NoInstrumentation) and
+// fails if the instrumented daemon is more than gate (fractionally) slower.
+// Both daemons live in this process and serve over loopback, so the
+// comparison sees the same machine, load and Go runtime — unlike comparing
+// against a checked-in baseline from other hardware. A small absolute
+// slack keeps scheduler noise on sub-millisecond paths from tripping a
+// percentage gate.
+func runService(circuit string, maxFaults int, gate float64) (report, string) {
 	ctx := context.Background()
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
@@ -316,6 +333,81 @@ func runService(circuit string, maxFaults int) (report, string) {
 	coldMut := int64(mustATPG(cl2, mc, atpgParams, "miss").ElapsedMS * 1e6)
 	rep.Results = append(rep.Results,
 		result{Name: "cold-atpg-mutated", NsPerOp: coldMut, Iterations: 1})
+
+	// Instrumentation overhead: the same warm requests against a daemon
+	// whose middleware, tracing and metrics are switched off.
+	if gate > 0 {
+		ln3, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		defer ln3.Close()
+		go http.Serve(ln3, server.New(server.Config{NoInstrumentation: true}))
+		cl3 := seqlearn.NewClient("http://" + ln3.Addr().String())
+
+		mustLearn(cl3, "miss")
+		mustATPG(cl3, c, atpgParams, "miss")
+
+		// Instrumented and bare runs of the same path are measured
+		// back-to-back (three alternations, best of each): the process's
+		// heap and the machine's load drift over a benchmark run, so
+		// comparing a number from minutes ago against a fresh one measures
+		// the drift, not the middleware.
+		pair := func(instrumented, bare func(b *testing.B)) (int64, int64) {
+			var insNs, bareNs int64 = -1, -1
+			for i := 0; i < 3; i++ {
+				if ns := testing.Benchmark(instrumented).NsPerOp(); insNs < 0 || ns < insNs {
+					insNs = ns
+				}
+				if ns := testing.Benchmark(bare).NsPerOp(); bareNs < 0 || ns < bareNs {
+					bareNs = ns
+				}
+			}
+			return insNs, bareNs
+		}
+		insLearn, bareLearn := pair(
+			func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					mustLearn(cl, "hit")
+				}
+			},
+			func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					mustLearn(cl3, "hit")
+				}
+			})
+		insATPG, bareATPG := pair(
+			func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					mustATPG(cl, c, atpgParams, "hit")
+				}
+			},
+			func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					mustATPG(cl3, c, atpgParams, "hit")
+				}
+			})
+		rep.Results = append(rep.Results,
+			result{Name: "warm-learn-bare", NsPerOp: bareLearn, Iterations: 1},
+			result{Name: "warm-atpg-bare", NsPerOp: bareATPG, Iterations: 1})
+
+		// 200µs of slack: on a warm path of a few hundred µs a single
+		// scheduler hiccup is a double-digit percentage.
+		const slackNs = 200_000
+		check := func(name string, instrumented, bare int64) {
+			limit := bare + int64(gate*float64(bare)) + slackNs
+			fmt.Printf("overhead %s: instrumented %s vs bare %s (limit %s)\n",
+				name, fmtNs(instrumented), fmtNs(bare), fmtNs(limit))
+			if instrumented > limit {
+				fmt.Fprintf(os.Stderr, "benchjson: %s instrumentation overhead too high: %s > %s\n",
+					name, fmtNs(instrumented), fmtNs(limit))
+				os.Exit(1)
+			}
+		}
+		check("warm-learn", insLearn, bareLearn)
+		check("warm-atpg", insATPG, bareATPG)
+	}
 
 	reuseParams := atpgParams
 	reuseParams.Reuse = "auto"

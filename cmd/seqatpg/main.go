@@ -25,6 +25,7 @@ import (
 	"repro/internal/gen"
 	"repro/internal/learn"
 	"repro/internal/netlist"
+	"repro/internal/obs"
 	"repro/seqlearn"
 )
 
@@ -40,9 +41,15 @@ func main() {
 		compact   = flag.Bool("compact", false, "drop redundant tests by reverse-order fault simulation after generation")
 		remote    = flag.String("remote", "", "run against a seqlearnd daemon at this base URL instead of in-process")
 		reuse     = flag.String("reuse", "", "with -remote: seed from a cached test set (\"auto\" or a tests fingerprint) and run PODEM only on the residue")
+		version   = flag.Bool("version", false, "print build identity and exit")
 	)
 	flag.IntVar(workers, "j", 0, "alias for -workers")
 	flag.Parse()
+
+	if *version {
+		fmt.Println(obs.VersionString("seqatpg"))
+		return
+	}
 
 	c, err := load(*circuit, *benchFile)
 	if err != nil {

@@ -23,6 +23,7 @@ import (
 	"repro/internal/gen"
 	"repro/internal/learn"
 	"repro/internal/netlist"
+	"repro/internal/obs"
 	"repro/seqlearn"
 )
 
@@ -37,9 +38,15 @@ func main() {
 		noEarly    = flag.Bool("no-early-stop", false, "disable the repeated-state stopping rule (ablation)")
 		workers    = flag.Int("workers", 0, "learning workers (0 = one per core, 1 = serial; results identical)")
 		remote     = flag.String("remote", "", "run against a seqlearnd daemon at this base URL instead of in-process")
+		version    = flag.Bool("version", false, "print build identity and exit")
 	)
 	flag.IntVar(workers, "j", 0, "alias for -workers")
 	flag.Parse()
+
+	if *version {
+		fmt.Println(obs.VersionString("seqlearn"))
+		return
+	}
 
 	c, err := load(*circuit, *benchFile)
 	if err != nil {

@@ -10,6 +10,7 @@
 //	seqlearnd -addr 127.0.0.1:0 -addr-file a   # random port, written (atomically) to file a
 //	seqlearnd -cache-dir /var/cache/seqlearn   # persist learned snapshots
 //	seqlearnd -queue 32 -request-timeout 5m    # shed beyond 32 waiters, bound each request
+//	seqlearnd -debug-addr 127.0.0.1:8345       # pprof + /metrics on a side listener
 //	seqlearnd -dump-circuit figure2            # print a built-in netlist and exit
 //
 // Endpoints (see internal/server; every compute endpoint also takes
@@ -20,6 +21,12 @@
 //	POST /v1/faultsim?[frames=|seed=|workers=]
 //	GET  /healthz
 //	GET  /v1/stats
+//	GET  /metrics
+//
+// Compute endpoints also take debug=trace to echo the request's span tree
+// in the response; every response carries an X-Request-Id (generated, or
+// propagated from the request). Requests slower than -slow-request log at
+// WARN with the span breakdown attached.
 //
 // Overload sheds with 429 + Retry-After once the pool and queue are full;
 // expired deadlines answer 504 and never cache; SIGINT/SIGTERM flips
@@ -32,8 +39,10 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"path/filepath"
@@ -43,6 +52,7 @@ import (
 	"repro/internal/bench"
 	"repro/internal/circuits"
 	"repro/internal/gen"
+	"repro/internal/obs"
 	"repro/internal/server"
 	"repro/internal/store"
 )
@@ -59,8 +69,17 @@ func main() {
 		maxBodyMB   = flag.Int64("max-body-mb", 64, "largest accepted netlist in MiB")
 		drain       = flag.Duration("drain", 30*time.Second, "on SIGINT/SIGTERM, wait up to this long for in-flight requests before exiting")
 		dumpCircuit = flag.String("dump-circuit", "", "print a built-in circuit (figure1, figure2 or a suite name) as .bench and exit")
+		debugAddr   = flag.String("debug-addr", "", "serve /metrics and net/http/pprof on this side listener (keep it off the public interface)")
+		slowReq     = flag.Duration("slow-request", 10*time.Second, "log requests slower than this at WARN with their span breakdown (0 = never)")
+		quiet       = flag.Bool("quiet", false, "suppress per-request access logs (slow-request WARNs still emit)")
+		version     = flag.Bool("version", false, "print build identity and exit")
 	)
 	flag.Parse()
+
+	if *version {
+		fmt.Println(obs.VersionString("seqlearnd"))
+		return
+	}
 
 	if *dumpCircuit != "" {
 		if err := dump(*dumpCircuit); err != nil {
@@ -70,13 +89,38 @@ func main() {
 		return
 	}
 
+	// Structured logs go to stderr (stdout keeps the human-facing startup
+	// and shutdown lines); -quiet raises the floor to WARN so only slow
+	// requests and problems emit.
+	level := slog.LevelInfo
+	if *quiet {
+		level = slog.LevelWarn
+	}
+	logger := slog.New(slog.NewJSONHandler(os.Stderr, &slog.HandlerOptions{Level: level}))
+
 	srv := server.New(server.Config{
 		Store:          store.Options{MaxEntries: *cacheSize, Dir: *cacheDir},
 		MaxConcurrent:  *pool,
 		MaxQueue:       *queueLen,
 		RequestTimeout: *reqTimeout,
 		MaxBodyBytes:   *maxBodyMB << 20,
+		Logger:         logger,
+		SlowRequest:    *slowReq,
 	})
+
+	if *debugAddr != "" {
+		dln, err := net.Listen("tcp", *debugAddr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "seqlearnd: debug listener:", err)
+			os.Exit(1)
+		}
+		go func() {
+			if err := http.Serve(dln, debugMux(srv)); !errors.Is(err, http.ErrServerClosed) {
+				logger.Error("debug listener failed", slog.Any("err", err))
+			}
+		}()
+		fmt.Printf("seqlearnd debug listener on %s (/metrics, /debug/pprof/)\n", dln.Addr())
+	}
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
@@ -134,6 +178,22 @@ func main() {
 	if err == nil {
 		fmt.Printf("seqlearnd: final stats:\n%s\n", report)
 	}
+}
+
+// debugMux builds the side listener's handler: the pprof suite (the
+// DefaultServeMux registrations, remounted explicitly so the public
+// listener never inherits them) plus the same /metrics the main mux
+// serves — convenient when the scrape network differs from the serving
+// network.
+func debugMux(srv *server.Server) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("GET /metrics", srv.Registry())
+	return mux
 }
 
 // writeAddrFile publishes the resolved listen address via temp file +

@@ -22,6 +22,7 @@ import (
 	"os"
 
 	"repro/internal/harness"
+	"repro/internal/obs"
 )
 
 func main() {
@@ -30,8 +31,14 @@ func main() {
 		quick     = flag.Bool("quick", false, "bound sizes and fault counts for a fast run")
 		maxFaults = flag.Int("max-faults", 0, "table 5: faults per circuit (0 = all)")
 		workers   = flag.Int("workers", 0, "table 5: ATPG driver workers (0 = one per core, 1 = serial; cells identical)")
+		version   = flag.Bool("version", false, "print build identity and exit")
 	)
 	flag.Parse()
+
+	if *version {
+		fmt.Println(obs.VersionString("tables"))
+		return
+	}
 
 	maxGates3, maxGates4, maxGates5 := 0, 0, 0
 	t5Faults := *maxFaults

@@ -14,6 +14,7 @@ import (
 	"net/http"
 	"os"
 
+	"repro/internal/obs"
 	"repro/internal/server"
 	"repro/seqlearn"
 )
@@ -65,4 +66,41 @@ func main() {
 	fmt.Printf("\ndaemon stats: learns=%d hits=%d misses=%d entries=%d atpg-runs=%d atpg-hits=%d\n",
 		stats.Cache.Learns, stats.Cache.Hits, stats.Cache.Misses, stats.Cache.Entries,
 		stats.Cache.ATPGRuns, stats.Cache.ATPGHits)
+
+	// debug=trace echoes the request's span tree: where a cold request
+	// spends its time, phase by phase. A fresh daemon so nothing is cached;
+	// fault_sim and podem are aggregates across parallel workers, so their
+	// totals may exceed the request's wall clock.
+	ln2, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "service:", err)
+		os.Exit(1)
+	}
+	go http.Serve(ln2, server.New(server.Config{}))
+	cold := seqlearn.NewClient("http://" + ln2.Addr().String())
+	traced, err := cold.GenerateTests(ctx, c, seqlearn.ServiceATPGParams{
+		Mode: "forbidden", Backtracks: 30, MaxFaults: 200,
+		Learn: seqlearn.ServiceLearnParams{Trace: true},
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "service:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("\ncold ATPG span tree (request %s):\n", traced.Trace.ID)
+	printSpan(traced.Trace.Root, 1)
+}
+
+// printSpan renders one span and its children, indented by depth.
+func printSpan(sp *obs.SpanTree, depth int) {
+	if sp == nil {
+		return
+	}
+	attrs := ""
+	for k, v := range sp.Attrs {
+		attrs += fmt.Sprintf(" %s=%d", k, v)
+	}
+	fmt.Printf("%*s%-12s %8.1fms%s\n", 2*depth, "", sp.Name, sp.DurationMS, attrs)
+	for _, child := range sp.Children {
+		printSpan(child, depth+1)
+	}
 }

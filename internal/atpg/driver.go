@@ -7,6 +7,7 @@ import (
 	"repro/internal/fault"
 	"repro/internal/logic"
 	"repro/internal/netlist"
+	"repro/internal/obs"
 	"repro/internal/sim"
 )
 
@@ -60,6 +61,13 @@ type RunOptions struct {
 	// result with Canceled set; at most one in-flight PODEM search per
 	// worker finishes after the channel closes.
 	Cancel <-chan struct{}
+
+	// Span, when non-nil, receives per-phase child spans: seed_replay and
+	// compact as bracketed spans, fault_sim and podem as aggregates that
+	// sum the sweep and search times (across parallel workers, so they may
+	// exceed the wall clock). An observation knob like Parallelism:
+	// excluded from store fingerprints, no effect on results.
+	Span *obs.Span
 }
 
 // FaultStatus is the final per-fault classification of a run.
@@ -175,7 +183,28 @@ func Run(c *netlist.Circuit, opt RunOptions) RunResult {
 
 	workers := sim.ClampWorkers(opt.Parallelism)
 	st := newRunState(c, opt, faults, workers)
-	st.replaySeeds()
+
+	// fault_sim and podem are aggregate spans: every detection sweep and
+	// every PODEM search adds its elapsed time, so with parallel workers
+	// their totals are compute time, not wall clock.
+	fsSpan := opt.Span.Start("fault_sim")
+	if st.psim != nil {
+		st.psim.SetSpan(fsSpan)
+	} else {
+		st.fsim.SetSpan(fsSpan)
+	}
+	st.podemSpan = opt.Span.Start("podem")
+
+	if len(opt.SeedTests) > 0 {
+		sp := opt.Span.Start("seed_replay")
+		st.replaySeeds()
+		sp.Add("seeds", int64(len(opt.SeedTests)))
+		sp.Add("kept", int64(st.res.SeedTestsKept))
+		sp.Add("detected", int64(st.res.SeedDetected))
+		sp.End()
+	} else {
+		st.replaySeeds()
+	}
 	if !st.res.Canceled {
 		if workers > 1 {
 			st.runParallel(workers)
@@ -183,8 +212,13 @@ func Run(c *netlist.Circuit, opt RunOptions) RunResult {
 			st.runSerial()
 		}
 	}
+	st.podemSpan.Add("targets", int64(st.res.PodemTargets))
+	st.podemSpan.Add("backtracks", int64(st.res.Backtracks))
 	if opt.CompactTests && !st.res.Canceled {
+		sp := opt.Span.Start("compact")
 		st.compactTests()
+		sp.Add("removed", int64(st.res.TestsCompacted))
+		sp.End()
 	}
 	st.res.Faults = faults
 	st.res.Status = make([]FaultStatus, len(faults))
@@ -221,7 +255,23 @@ type runState struct {
 	// order — the coverage universe the compaction pass must preserve.
 	detected []fault.Fault
 
+	// podemSpan aggregates the time spent inside Generate (nil when
+	// unobserved); workers call generate() which adds atomically.
+	podemSpan *obs.Span
+
 	res RunResult
+}
+
+// generate runs one PODEM search, timing it into the podem aggregate span
+// when one is attached. Safe from parallel workers: AddTime is atomic.
+func (st *runState) generate(i int) Result {
+	if st.podemSpan == nil {
+		return Generate(st.c, st.faults[i], st.genOptions(i))
+	}
+	start := time.Now()
+	g := Generate(st.c, st.faults[i], st.genOptions(i))
+	st.podemSpan.AddTime(time.Since(start))
+	return g
 }
 
 func newRunState(c *netlist.Circuit, opt RunOptions, faults []fault.Fault, workers int) *runState {
@@ -452,6 +502,6 @@ func (st *runState) runSerial() {
 		if st.dropped[st.slot[i]].Load() {
 			continue
 		}
-		st.process(i, Generate(st.c, st.faults[i], st.genOptions(i)))
+		st.process(i, st.generate(i))
 	}
 }

@@ -126,7 +126,7 @@ func (st *runState) runParallel(workers int) {
 					mu.Unlock()
 					continue
 				}
-				g := Generate(st.c, st.faults[i], st.genOptions(i))
+				g := st.generate(i)
 				mu.Lock()
 				results[i] = g
 				state[i] = genDone
@@ -161,7 +161,7 @@ func (st *runState) runParallel(workers int) {
 				// are monotonic and only the coordinator writes them, so
 				// this cannot happen; regenerate inline so the merge stays
 				// provably serial-equivalent even if it ever did.
-				g = Generate(st.c, st.faults[i], st.genOptions(i))
+				g = st.generate(i)
 			}
 			st.process(i, g)
 		}

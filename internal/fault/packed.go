@@ -2,9 +2,11 @@ package fault
 
 import (
 	"math/bits"
+	"time"
 
 	"repro/internal/logic"
 	"repro/internal/netlist"
+	"repro/internal/obs"
 	"repro/internal/sim"
 )
 
@@ -43,6 +45,10 @@ type PackedSim struct {
 	// batch is the lane-group size, logic.W except in tests that exercise
 	// partial-batch handling at every split.
 	batch int
+
+	// span, when non-nil, aggregates sweep timings (span.go). Never
+	// inherited by clones.
+	span *obs.Span
 }
 
 // NewPackedSim returns a packed fault simulator for c.
@@ -86,6 +92,7 @@ func (p *PackedSim) adoptSequence(src *PackedSim) {
 // broadcast — and caches the PI planes and good primary-output planes every
 // batch reuses.
 func (p *PackedSim) LoadSequence(vectors [][]logic.V, init []logic.V) {
+	defer record(p.span, time.Now(), 0, len(vectors))
 	e := p.eng
 	e.ClearForces()
 	e.ResetBroadcast(init)
@@ -176,6 +183,7 @@ func (p *PackedSim) batchBounds(k, n int) (int, int) {
 // per word, and returns the per-fault outcomes in input order —
 // bit-identical to Sim.DetectAll.
 func (p *PackedSim) DetectAll(faults []Fault) []Detection {
+	defer record(p.span, time.Now(), len(faults), 0)
 	out := make([]Detection, len(faults))
 	for k := 0; k < p.numBatches(len(faults)); k++ {
 		lo, hi := p.batchBounds(k, len(faults))
@@ -190,6 +198,7 @@ func (p *PackedSim) DetectAll(faults []Fault) []Detection {
 // likely to drop — is simulated first. Detection of one fault never depends
 // on another, so the outcome is identical to DetectAll for any order.
 func (p *PackedSim) DetectAllReverse(faults []Fault) []Detection {
+	defer record(p.span, time.Now(), len(faults), 0)
 	out := make([]Detection, len(faults))
 	for k := p.numBatches(len(faults)) - 1; k >= 0; k-- {
 		lo, hi := p.batchBounds(k, len(faults))

@@ -3,9 +3,11 @@ package fault
 import (
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/logic"
 	"repro/internal/netlist"
+	"repro/internal/obs"
 	"repro/internal/sim"
 )
 
@@ -24,6 +26,10 @@ import (
 // Detect must not overlap.
 type ParallelSim struct {
 	workers []*PackedSim // workers[0] is the primary that loads sequences
+
+	// span, when non-nil, aggregates sweep timings at the coordinator
+	// (span.go); the worker clones stay unobserved.
+	span *obs.Span
 }
 
 // NewParallelSim returns a sharded packed fault simulator for c.
@@ -45,6 +51,7 @@ func (p *ParallelSim) Workers() int { return len(p.workers) }
 // LoadSequence simulates the good machine once over the vectors (nil init
 // = all X) and shares the cached planes with every worker.
 func (p *ParallelSim) LoadSequence(vectors [][]logic.V, init []logic.V) {
+	defer record(p.span, time.Now(), 0, len(vectors))
 	p.workers[0].LoadSequence(vectors, init)
 	for _, w := range p.workers[1:] {
 		w.adoptSequence(p.workers[0])
@@ -59,6 +66,7 @@ func (p *ParallelSim) Frames() int { return p.workers[0].Frames() }
 // outcomes in input order — bit-identical to Sim.DetectAll for any worker
 // count.
 func (p *ParallelSim) Detect(faults []Fault) []Detection {
+	defer record(p.span, time.Now(), len(faults), 0)
 	out := make([]Detection, len(faults))
 	primary := p.workers[0]
 	batches := primary.numBatches(len(faults))

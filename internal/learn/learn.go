@@ -38,6 +38,7 @@ import (
 	"repro/internal/imply"
 	"repro/internal/logic"
 	"repro/internal/netlist"
+	"repro/internal/obs"
 	"repro/internal/sim"
 )
 
@@ -116,6 +117,12 @@ type Options struct {
 	// must be discarded, never cached — it is an execution knob like
 	// Parallelism, excluded from store fingerprints.
 	Cancel <-chan struct{}
+
+	// Span, when non-nil, receives one child span per learning phase
+	// (single_node, equiv, multi_node, comb_learn) with stem/target/sim
+	// counts as attributes. An observation knob like Parallelism: excluded
+	// from store fingerprints, no effect on results.
+	Span *obs.Span
 
 	// Equiv tunes equivalence identification.
 	Equiv equiv.Options
@@ -308,19 +315,26 @@ func learnWith(c *netlist.Circuit, opt Options, trace *SweepWorkload) *Result {
 	l.records = make([]map[imply.Lit][]record, len(classes))
 
 	// Phase 1: single-node learning per clock class.
+	sp := opt.Span.Start("single_node")
 	for i, cls := range classes {
 		l.records[i] = map[imply.Lit][]record{}
 		l.singleNode(cls, l.records[i])
 	}
+	sp.Add("stems", int64(l.res.Stats.Stems))
+	sp.Add("sims", int64(l.res.Stats.Sims))
+	sp.End()
 	if l.canceled() {
 		return l.abort(start)
 	}
 
 	// Phase 2: gate equivalences with ties folded in.
 	if !opt.DisableEquiv {
+		sp = opt.Span.Start("equiv")
 		eq := equiv.Find(c, l.tiesForSim(), opt.Equiv)
 		l.res.EquivClasses = eq.Classes
 		l.partners = eq.Partners
+		sp.Add("classes", int64(len(eq.Classes)))
+		sp.End()
 	}
 	if l.canceled() {
 		return l.abort(start)
@@ -330,6 +344,7 @@ func learnWith(c *netlist.Circuit, opt Options, trace *SweepWorkload) *Result {
 	// installed on every worker engine once per pass (read-through, closed
 	// under constant propagation).
 	if !opt.SingleNodeOnly {
+		sp = opt.Span.Start("multi_node")
 		l.setTies(l.tiesForSim())
 		for i, cls := range classes {
 			l.multiNode(cls, l.records[i])
@@ -346,6 +361,9 @@ func learnWith(c *netlist.Circuit, opt Options, trace *SweepWorkload) *Result {
 			}
 		}
 		l.setTies(nil)
+		sp.Add("targets", int64(l.res.Stats.Targets))
+		sp.Add("conflicts", int64(l.res.Stats.Conflicts))
+		sp.End()
 	}
 	if l.canceled() {
 		return l.abort(start)
@@ -357,6 +375,7 @@ func learnWith(c *netlist.Circuit, opt Options, trace *SweepWorkload) *Result {
 	// here — a sequential tie is knowledge combinational learning cannot
 	// have, and using it would misclassify sequential relations.
 	if !opt.SkipComb {
+		sp = opt.Span.Start("comb_learn")
 		combTies := map[netlist.NodeID]logic.V{}
 		for n, v := range l.res.Ties {
 			if l.tieFrame[n] == 0 {
@@ -366,6 +385,7 @@ func learnWith(c *netlist.Circuit, opt Options, trace *SweepWorkload) *Result {
 		for _, tie := range CombinationalParallel(c, l.db, combTies, l.opt.Parallelism) {
 			l.addTie(tie.Node, tie.Val, 0)
 		}
+		sp.End()
 	}
 
 	l.finish()

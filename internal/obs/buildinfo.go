@@ -1,0 +1,60 @@
+package obs
+
+import (
+	"runtime"
+	"runtime/debug"
+	"sync"
+)
+
+// Build identity: the VCS revision embedded by the Go toolchain
+// (runtime/debug.ReadBuildInfo), surfaced in /healthz, the
+// seqlearnd_build_info gauge, and every cmd's -version flag. Binaries
+// built outside a git checkout (go test, bare go build of a file set)
+// carry no VCS stamp and report "unknown".
+
+var buildOnce = sync.OnceValues(func() (string, bool) {
+	info, ok := debug.ReadBuildInfo()
+	if !ok {
+		return "unknown", false
+	}
+	rev, modified := "unknown", false
+	for _, s := range info.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			rev = s.Value
+		case "vcs.modified":
+			modified = s.Value == "true"
+		}
+	}
+	if len(rev) > 12 && rev != "unknown" {
+		rev = rev[:12]
+	}
+	return rev, modified
+})
+
+// Revision returns the (shortened) VCS revision of the running binary,
+// with a "-dirty" suffix when the working tree was modified, or
+// "unknown" when no VCS stamp was embedded.
+func Revision() string {
+	rev, modified := buildOnce()
+	if modified {
+		return rev + "-dirty"
+	}
+	return rev
+}
+
+// VersionString is the one-line answer of the cmds' -version flag.
+func VersionString(cmd string) string {
+	return cmd + " revision " + Revision() + " " + runtime.Version()
+}
+
+// RegisterBuildInfo registers the seqlearnd_build_info gauge: constant 1
+// with the revision and Go version as labels, the standard idiom for
+// joining build identity onto any other series in a query.
+func RegisterBuildInfo(r *Registry) {
+	r.Gauge("seqlearnd_build_info",
+		"Build identity of the running binary (always 1; identity in labels).",
+		Label{"revision", Revision()},
+		Label{"goversion", runtime.Version()},
+	).Set(1)
+}

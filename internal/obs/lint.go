@@ -1,0 +1,314 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// LintExposition validates a /metrics payload against the text exposition
+// format: every sample belongs to a family announced by HELP and TYPE
+// lines, names and labels are well-formed, label values are properly
+// escaped (quotes closed), histogram bucket counts are cumulative
+// (monotonically non-decreasing in le order) and the +Inf bucket equals
+// the _count sample. It is the Go-side stand-in for promtool in tests and
+// CI smoke — a format regression fails a unit test instead of a scrape.
+func LintExposition(payload []byte) error {
+	type histState struct {
+		lastCum  int64
+		infCum   int64
+		seenInf  bool
+		count    int64
+		hasCount bool
+	}
+	helpSeen := map[string]bool{}
+	typeSeen := map[string]string{}
+	hists := map[string]*histState{} // per full series key (name+labels sans le)
+
+	sc := bufio.NewScanner(strings.NewReader(string(payload)))
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "# HELP ") {
+			fields := strings.SplitN(line[len("# HELP "):], " ", 2)
+			if !validMetricName(fields[0]) {
+				return fmt.Errorf("line %d: bad metric name in HELP: %q", lineNo, fields[0])
+			}
+			helpSeen[fields[0]] = true
+			continue
+		}
+		if strings.HasPrefix(line, "# TYPE ") {
+			fields := strings.Fields(line[len("# TYPE "):])
+			if len(fields) != 2 {
+				return fmt.Errorf("line %d: malformed TYPE line", lineNo)
+			}
+			switch fields[1] {
+			case "counter", "gauge", "histogram", "summary", "untyped":
+			default:
+				return fmt.Errorf("line %d: unknown TYPE %q", lineNo, fields[1])
+			}
+			if !helpSeen[fields[0]] {
+				return fmt.Errorf("line %d: TYPE %s without preceding HELP", lineNo, fields[0])
+			}
+			typeSeen[fields[0]] = fields[1]
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			continue // comment
+		}
+
+		name, labels, value, err := parseSample(line)
+		if err != nil {
+			return fmt.Errorf("line %d: %w", lineNo, err)
+		}
+		fam := familyOf(name, typeSeen)
+		if fam == "" {
+			return fmt.Errorf("line %d: sample %s has no TYPE family", lineNo, name)
+		}
+		typ := typeSeen[fam]
+		switch {
+		case typ == "histogram" && strings.HasSuffix(name, "_bucket"):
+			le, rest, ok := splitLE(labels)
+			if !ok {
+				return fmt.Errorf("line %d: histogram bucket without le label", lineNo)
+			}
+			cum, err := strconv.ParseInt(value, 10, 64)
+			if err != nil {
+				return fmt.Errorf("line %d: non-integer bucket count %q", lineNo, value)
+			}
+			key := fam + "{" + rest + "}"
+			h := hists[key]
+			if h == nil {
+				h = &histState{}
+				hists[key] = h
+			}
+			if cum < h.lastCum {
+				return fmt.Errorf("line %d: bucket counts of %s not cumulative (%d after %d)",
+					lineNo, key, cum, h.lastCum)
+			}
+			h.lastCum = cum
+			if le == "+Inf" {
+				h.seenInf = true
+				h.infCum = cum
+			}
+		case typ == "histogram" && strings.HasSuffix(name, "_count"):
+			n, err := strconv.ParseInt(value, 10, 64)
+			if err != nil {
+				return fmt.Errorf("line %d: non-integer _count %q", lineNo, value)
+			}
+			key := fam + "{" + labels + "}"
+			h := hists[key]
+			if h == nil {
+				h = &histState{}
+				hists[key] = h
+			}
+			h.count = n
+			h.hasCount = true
+		default:
+			if _, err := strconv.ParseFloat(value, 64); err != nil {
+				return fmt.Errorf("line %d: unparsable value %q", lineNo, value)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	for key, h := range hists {
+		if !h.seenInf {
+			return fmt.Errorf("histogram %s has no +Inf bucket", key)
+		}
+		if h.hasCount && h.count != h.infCum {
+			return fmt.Errorf("histogram %s: _count %d != +Inf bucket %d", key, h.count, h.infCum)
+		}
+	}
+	return nil
+}
+
+// familyOf maps a sample name to its announced family, handling the
+// histogram suffixes.
+func familyOf(name string, types map[string]string) string {
+	if _, ok := types[name]; ok {
+		return name
+	}
+	for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+		if base, ok := strings.CutSuffix(name, suffix); ok {
+			if types[base] == "histogram" || types[base] == "summary" {
+				return base
+			}
+		}
+	}
+	return ""
+}
+
+// parseSample splits `name{labels} value` (labels optional), validating
+// the label syntax and unescaping rules along the way. It returns the raw
+// label body so bucket states key on it.
+func parseSample(line string) (name, labels, value string, err error) {
+	rest := line
+	if i := strings.IndexByte(rest, '{'); i >= 0 {
+		name = rest[:i]
+		rest = rest[i+1:]
+		// Walk the label body respecting escapes, to find the closing
+		// brace even when a value contains one.
+		var b strings.Builder
+		inQuote := false
+		for j := 0; j < len(rest); j++ {
+			c := rest[j]
+			if inQuote {
+				if c == '\\' {
+					if j+1 >= len(rest) {
+						return "", "", "", fmt.Errorf("dangling escape in %q", line)
+					}
+					switch rest[j+1] {
+					case '\\', '"', 'n':
+					default:
+						return "", "", "", fmt.Errorf("bad escape \\%c", rest[j+1])
+					}
+					b.WriteByte(c)
+					b.WriteByte(rest[j+1])
+					j++
+					continue
+				}
+				if c == '"' {
+					inQuote = false
+				}
+				b.WriteByte(c)
+				continue
+			}
+			switch c {
+			case '"':
+				inQuote = true
+				b.WriteByte(c)
+			case '}':
+				labels = b.String()
+				value = strings.TrimSpace(rest[j+1:])
+				if !validMetricName(name) {
+					return "", "", "", fmt.Errorf("bad metric name %q", name)
+				}
+				if err := validLabels(labels); err != nil {
+					return "", "", "", err
+				}
+				if value == "" {
+					return "", "", "", fmt.Errorf("sample without value: %q", line)
+				}
+				return name, labels, value, nil
+			default:
+				b.WriteByte(c)
+			}
+		}
+		return "", "", "", fmt.Errorf("unterminated label set in %q", line)
+	}
+	fields := strings.Fields(rest)
+	if len(fields) != 2 {
+		return "", "", "", fmt.Errorf("malformed sample %q", line)
+	}
+	if !validMetricName(fields[0]) {
+		return "", "", "", fmt.Errorf("bad metric name %q", fields[0])
+	}
+	return fields[0], "", fields[1], nil
+}
+
+// splitLE extracts the le label from a bucket label body, returning the
+// remaining labels as the series key.
+func splitLE(labels string) (le, rest string, ok bool) {
+	parts := splitLabels(labels)
+	var others []string
+	for _, p := range parts {
+		if v, found := strings.CutPrefix(p, `le="`); found {
+			le = strings.TrimSuffix(v, `"`)
+			ok = true
+			continue
+		}
+		others = append(others, p)
+	}
+	return le, strings.Join(others, ","), ok
+}
+
+// splitLabels splits a label body on commas outside quotes.
+func splitLabels(labels string) []string {
+	var out []string
+	var b strings.Builder
+	inQuote := false
+	for i := 0; i < len(labels); i++ {
+		c := labels[i]
+		switch {
+		case inQuote && c == '\\' && i+1 < len(labels):
+			b.WriteByte(c)
+			b.WriteByte(labels[i+1])
+			i++
+		case c == '"':
+			inQuote = !inQuote
+			b.WriteByte(c)
+		case c == ',' && !inQuote:
+			out = append(out, b.String())
+			b.Reset()
+		default:
+			b.WriteByte(c)
+		}
+	}
+	if b.Len() > 0 {
+		out = append(out, b.String())
+	}
+	return out
+}
+
+// validLabels checks every k="v" pair of a label body.
+func validLabels(labels string) error {
+	if labels == "" {
+		return nil
+	}
+	for _, p := range splitLabels(labels) {
+		k, v, ok := strings.Cut(p, "=")
+		if !ok || !validLabelName(k) {
+			return fmt.Errorf("bad label pair %q", p)
+		}
+		if len(v) < 2 || v[0] != '"' || v[len(v)-1] != '"' {
+			return fmt.Errorf("unquoted label value in %q", p)
+		}
+	}
+	return nil
+}
+
+func validMetricName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+func validLabelName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_':
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}

@@ -10,6 +10,7 @@ import (
 	"repro/internal/atpg"
 	"repro/internal/learn"
 	"repro/internal/logic"
+	"repro/internal/obs"
 	"repro/internal/store"
 )
 
@@ -37,6 +38,12 @@ type LearnParams struct {
 	// answers 504 and its partial run is never cached. Zero asks for the
 	// daemon's default. An execution knob: it never affects cache keys.
 	Timeout time.Duration
+
+	// Trace (wire form debug=trace) asks the response to echo the
+	// request's span tree — where the time went across parse, learning
+	// phases, fault simulation and PODEM. Observation only: never affects
+	// cache keys or results.
+	Trace bool
 }
 
 // Options maps the request to learn.Options.
@@ -59,13 +66,14 @@ func (p LearnParams) Query() url.Values {
 	setBool(q, "no_early_stop", p.NoEarlyStop)
 	setInt(q, "workers", p.Workers)
 	setDuration(q, "timeout", p.Timeout)
+	setTrace(q, p.Trace)
 	return q
 }
 
 // learnQueryKeys lists every parameter /v1/learn accepts ("name" is the
-// display-name parameter and "timeout" the per-request deadline, shared
-// by all compute endpoints).
-var learnQueryKeys = []string{"name", "max_frames", "single_only", "skip_comb", "no_early_stop", "workers", "timeout"}
+// display-name parameter; "timeout" and "debug" are shared by all compute
+// endpoints).
+var learnQueryKeys = []string{"name", "max_frames", "single_only", "skip_comb", "no_early_stop", "workers", "timeout", "debug"}
 
 func learnParamsFromQuery(q url.Values) (LearnParams, error) {
 	if err := checkKnown(q, learnQueryKeys); err != nil {
@@ -95,7 +103,10 @@ func decodeLearnParams(q url.Values) (LearnParams, error) {
 	if p.Workers, err = getInt(q, "workers"); err != nil {
 		return p, err
 	}
-	p.Timeout, err = getDuration(q, "timeout")
+	if p.Timeout, err = getDuration(q, "timeout"); err != nil {
+		return p, err
+	}
+	p.Trace, err = getTrace(q)
 	return p, err
 }
 
@@ -256,6 +267,9 @@ type FaultSimParams struct {
 	// kernel has no cancellation hook, so the deadline governs the queue
 	// wait; an expired wait answers 504 without starting the run.
 	Timeout time.Duration
+
+	// Trace asks for the span tree, like LearnParams.Trace.
+	Trace bool
 }
 
 // Query renders the parameters for a request URL.
@@ -267,11 +281,12 @@ func (p FaultSimParams) Query() url.Values {
 	}
 	setInt(q, "workers", p.Workers)
 	setDuration(q, "timeout", p.Timeout)
+	setTrace(q, p.Trace)
 	return q
 }
 
 // faultSimQueryKeys lists every parameter /v1/faultsim accepts.
-var faultSimQueryKeys = []string{"name", "frames", "seed", "workers", "timeout"}
+var faultSimQueryKeys = []string{"name", "frames", "seed", "workers", "timeout", "debug"}
 
 func faultSimParamsFromQuery(q url.Values) (FaultSimParams, error) {
 	var p FaultSimParams
@@ -288,7 +303,10 @@ func faultSimParamsFromQuery(q url.Values) (FaultSimParams, error) {
 	if p.Workers, err = getInt(q, "workers"); err != nil {
 		return p, err
 	}
-	p.Timeout, err = getDuration(q, "timeout")
+	if p.Timeout, err = getDuration(q, "timeout"); err != nil {
+		return p, err
+	}
+	p.Trace, err = getTrace(q)
 	return p, err
 }
 
@@ -308,6 +326,9 @@ type LearnResponse struct {
 	SeqTies      int     `json:"seq_ties"`
 	EquivClasses int     `json:"equiv_classes"`
 	ElapsedMS    float64 `json:"elapsed_ms"`
+
+	// Trace is the request's span tree, present with debug=trace.
+	Trace *obs.TraceJSON `json:"trace,omitempty"`
 }
 
 // ATPGResponse is the JSON answer of POST /v1/atpg.
@@ -356,6 +377,9 @@ type ATPGResponse struct {
 	TestVectors [][]string `json:"test_vectors,omitempty"`
 
 	ElapsedMS float64 `json:"elapsed_ms"`
+
+	// Trace is the request's span tree, present with debug=trace.
+	Trace *obs.TraceJSON `json:"trace,omitempty"`
 }
 
 // FaultSimResponse is the JSON answer of POST /v1/faultsim.
@@ -366,6 +390,9 @@ type FaultSimResponse struct {
 	Frames    int     `json:"frames"`
 	Coverage  float64 `json:"coverage"`
 	ElapsedMS float64 `json:"elapsed_ms"`
+
+	// Trace is the request's span tree, present with debug=trace.
+	Trace *obs.TraceJSON `json:"trace,omitempty"`
 }
 
 // StatsResponse is the JSON answer of GET /v1/stats.
@@ -400,6 +427,10 @@ type HealthResponse struct {
 	Status   string  `json:"status"`
 	UptimeMS float64 `json:"uptime_ms"`
 	Degraded bool    `json:"degraded"`
+
+	// Revision is the VCS revision the binary was built from ("unknown"
+	// outside a stamped build), for correlating fleet members with deploys.
+	Revision string `json:"revision,omitempty"`
 }
 
 // ErrorResponse is the JSON body of every non-2xx answer.
@@ -487,6 +518,23 @@ func setDuration(q url.Values, key string, v time.Duration) {
 	if v > 0 {
 		q.Set(key, v.String())
 	}
+}
+
+func setTrace(q url.Values, v bool) {
+	if v {
+		q.Set("debug", "trace")
+	}
+}
+
+// getTrace reads the debug= parameter; "trace" is the only defined mode.
+func getTrace(q url.Values) (bool, error) {
+	switch q.Get("debug") {
+	case "":
+		return false, nil
+	case "trace":
+		return true, nil
+	}
+	return false, fmt.Errorf("bad debug %q (supported: \"trace\")", q.Get("debug"))
 }
 
 func getDuration(q url.Values, key string) (time.Duration, error) {

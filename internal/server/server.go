@@ -24,6 +24,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"runtime"
 	"strconv"
@@ -34,6 +35,7 @@ import (
 	"repro/internal/fault"
 	"repro/internal/logic"
 	"repro/internal/netlist"
+	"repro/internal/obs"
 	"repro/internal/store"
 )
 
@@ -67,6 +69,22 @@ type Config struct {
 	// MaxBodyBytes caps the accepted netlist size (default 64 MiB — the
 	// largest suite stand-in serializes well under that).
 	MaxBodyBytes int64
+
+	// Logger, when non-nil, receives one structured access-log line per
+	// request (cmd/seqlearnd wires a JSON handler on stderr). Nil disables
+	// access logging; metrics and tracing still run.
+	Logger *slog.Logger
+
+	// SlowRequest is the latency threshold above which a request's access
+	// log line upgrades to WARN and carries the full span breakdown (0
+	// disables the upgrade). Requires Logger.
+	SlowRequest time.Duration
+
+	// NoInstrumentation bypasses the observability middleware entirely —
+	// no request IDs, traces, histograms or access logs. Exists so
+	// cmd/benchjson can measure the instrumentation overhead against a
+	// bare server in the same process; production daemons never set it.
+	NoInstrumentation bool
 }
 
 func (c *Config) defaults() {
@@ -87,53 +105,87 @@ func (c *Config) defaults() {
 // Server is the HTTP handler. Create one with New; it is safe for
 // concurrent use by the net/http machinery.
 type Server struct {
-	cfg   Config
-	store *store.Store
-	sem   chan struct{}
-	queue chan struct{} // admission-queue tokens; full = shed with 429
-	mux   *http.ServeMux
-	start time.Time
+	cfg     Config
+	store   *store.Store
+	sem     chan struct{}
+	queue   chan struct{} // admission-queue tokens; full = shed with 429
+	mux     *http.ServeMux
+	start   time.Time
+	reg     *obs.Registry
+	metrics *serverMetrics
+	logger  *slog.Logger
 
-	inFlight  atomic.Int64
-	queued    atomic.Int64
-	abandoned atomic.Int64
-	shed      atomic.Int64
-	timedOut  atomic.Int64
-	draining  atomic.Bool
+	inFlight atomic.Int64
+	queued   atomic.Int64
+	draining atomic.Bool
+
+	// Pool-outcome counters live in the obs registry; /v1/stats reads the
+	// same cells /metrics exports.
+	abandoned *obs.Counter
+	shed      *obs.Counter
+	timedOut  *obs.Counter
 
 	// svcNanos is an exponentially weighted moving average of compute
 	// service time (nanoseconds), feeding the Retry-After estimate.
 	svcNanos atomic.Int64
 
-	served map[string]*atomic.Int64
+	served map[string]*obs.Counter
 }
 
 // New returns a server ready to be attached to an http.Server.
 func New(cfg Config) *Server {
 	cfg.defaults()
+	reg := obs.NewRegistry()
+	cfg.Store.Metrics = reg
 	s := &Server{
-		cfg:   cfg,
-		store: store.New(cfg.Store),
-		sem:   make(chan struct{}, cfg.MaxConcurrent),
-		queue: make(chan struct{}, cfg.MaxQueue),
-		mux:   http.NewServeMux(),
-		start: time.Now(),
-		served: map[string]*atomic.Int64{
-			"learn":    new(atomic.Int64),
-			"atpg":     new(atomic.Int64),
-			"faultsim": new(atomic.Int64),
-		},
+		cfg:     cfg,
+		store:   store.New(cfg.Store),
+		sem:     make(chan struct{}, cfg.MaxConcurrent),
+		queue:   make(chan struct{}, cfg.MaxQueue),
+		mux:     http.NewServeMux(),
+		start:   time.Now(),
+		reg:     reg,
+		metrics: newServerMetrics(reg),
+		logger:  cfg.Logger,
 	}
+	obs.RegisterBuildInfo(reg)
+	s.abandoned = reg.Counter("seqlearnd_requests_abandoned_total",
+		"Requests whose client disconnected mid-queue or mid-run.")
+	s.shed = reg.Counter("seqlearnd_requests_shed_total",
+		"Requests rejected with 429 because the admission queue was full.")
+	s.timedOut = reg.Counter("seqlearnd_requests_timed_out_total",
+		"Requests that expired their deadline (504) while queued or mid-run.")
+	s.served = map[string]*obs.Counter{}
+	for _, ep := range computeEndpoints {
+		s.served[ep] = reg.Counter("seqlearnd_served_total",
+			"Successful compute responses, by endpoint.",
+			obs.Label{Key: "endpoint", Value: ep})
+	}
+	reg.GaugeFunc("seqlearnd_in_flight",
+		"Compute requests currently holding a pool slot.",
+		func() float64 { return float64(s.inFlight.Load()) })
+	reg.GaugeFunc("seqlearnd_queue_depth",
+		"Compute requests waiting for a pool slot.",
+		func() float64 { return float64(s.queued.Load()) })
+
 	s.mux.HandleFunc("POST /v1/learn", s.handleLearn)
 	s.mux.HandleFunc("POST /v1/atpg", s.handleATPG)
 	s.mux.HandleFunc("POST /v1/faultsim", s.handleFaultSim)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+	s.mux.Handle("GET /metrics", reg)
 	return s
 }
 
-// ServeHTTP implements http.Handler.
-func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+// ServeHTTP implements http.Handler: the observability middleware around
+// the mux, unless the benchmark-only NoInstrumentation bypass is set.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if s.cfg.NoInstrumentation {
+		s.mux.ServeHTTP(w, r)
+		return
+	}
+	s.observe(w, r)
+}
 
 // Store exposes the underlying cache (stats inspection in tests and the
 // daemon's shutdown report).
@@ -145,11 +197,13 @@ func (s *Server) Store() *store.Store { return s.store }
 // effective deadline context (requestContext); expiry while queued answers
 // 504, client disconnect 503 — either way the queue position is released.
 // It returns a release func, or false after writing the error response.
-func (s *Server) acquire(w http.ResponseWriter, ctx context.Context) (func(), bool) {
+func (s *Server) acquire(w http.ResponseWriter, ctx context.Context, ep string) (func(), bool) {
+	enter := time.Now()
 	// Fast path: a free slot, no queueing.
 	select {
 	case s.sem <- struct{}{}:
-		return s.slotAcquired(), true
+		s.observeQueueWait(ep, time.Since(enter))
+		return s.slotAcquired(ep), true
 	default:
 	}
 
@@ -160,21 +214,24 @@ func (s *Server) acquire(w http.ResponseWriter, ctx context.Context) (func(), bo
 	select {
 	case s.queue <- struct{}{}:
 	default:
-		s.shed.Add(1)
+		s.shed.Inc()
 		w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSeconds()))
 		s.writeError(w, http.StatusTooManyRequests,
 			fmt.Errorf("compute pool and admission queue full; retry after the advised delay"))
 		return nil, false
 	}
 	s.queued.Add(1)
+	sp := obs.TraceFrom(ctx).Root().Start("queue_wait")
 	defer func() {
+		sp.End()
 		s.queued.Add(-1)
 		<-s.queue
 	}()
 
 	select {
 	case s.sem <- struct{}{}:
-		return s.slotAcquired(), true
+		s.observeQueueWait(ep, time.Since(enter))
+		return s.slotAcquired(ep), true
 	case <-ctx.Done():
 		code, err := s.cancelStatus(ctx, "while queued")
 		s.writeError(w, code, err)
@@ -182,14 +239,26 @@ func (s *Server) acquire(w http.ResponseWriter, ctx context.Context) (func(), bo
 	}
 }
 
+// observeQueueWait feeds the per-endpoint queue-wait histogram (absent for
+// endpoints outside the compute pool).
+func (s *Server) observeQueueWait(ep string, d time.Duration) {
+	if h := s.metrics.queueWait[ep]; h != nil {
+		h.Observe(d.Seconds())
+	}
+}
+
 // slotAcquired finalizes a successful pool admission and returns the
 // release func, which also feeds the service-time average behind
-// Retry-After.
-func (s *Server) slotAcquired() func() {
+// Retry-After and the slot-hold histogram.
+func (s *Server) slotAcquired(ep string) func() {
 	s.inFlight.Add(1)
 	start := time.Now()
 	return func() {
-		s.observeService(time.Since(start))
+		held := time.Since(start)
+		s.observeService(held)
+		if h := s.metrics.slotHold[ep]; h != nil {
+			h.Observe(held.Seconds())
+		}
 		s.inFlight.Add(-1)
 		<-s.sem
 	}
@@ -251,10 +320,10 @@ func (s *Server) requestContext(r *http.Request, reqTimeout time.Duration) (cont
 // run was stopped at a cooperative checkpoint and never cached.
 func (s *Server) cancelStatus(ctx context.Context, when string) (int, error) {
 	if errors.Is(ctx.Err(), context.DeadlineExceeded) {
-		s.timedOut.Add(1)
+		s.timedOut.Inc()
 		return http.StatusGatewayTimeout, fmt.Errorf("request deadline expired %s", when)
 	}
-	s.abandoned.Add(1)
+	s.abandoned.Inc()
 	return http.StatusServiceUnavailable, fmt.Errorf("request abandoned %s", when)
 }
 
@@ -262,6 +331,7 @@ func (s *Server) cancelStatus(ctx context.Context, when string) (int, error) {
 // from the optional ?name= parameter and never affects caching (the
 // fingerprint strips it).
 func (s *Server) readCircuit(w http.ResponseWriter, r *http.Request) (*netlist.Circuit, bool) {
+	sp := obs.TraceFrom(r.Context()).Root().Start("parse")
 	name := r.URL.Query().Get("name")
 	if name == "" {
 		name = "netlist"
@@ -269,9 +339,12 @@ func (s *Server) readCircuit(w http.ResponseWriter, r *http.Request) (*netlist.C
 	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
 	c, err := bench.Parse(name, body)
 	if err != nil {
+		sp.End()
 		s.writeError(w, http.StatusBadRequest, err)
 		return nil, false
 	}
+	sp.Add("nodes", int64(c.NumNodes()))
+	sp.End()
 	return c, true
 }
 
@@ -288,17 +361,22 @@ func (s *Server) handleLearn(w http.ResponseWriter, r *http.Request) {
 	}
 	ctx, cancel := s.requestContext(r, params.Timeout)
 	defer cancel()
-	release, ok := s.acquire(w, ctx)
+	release, ok := s.acquire(w, ctx, "learn")
 	if !ok {
 		return
 	}
 	defer release()
 
 	// An expired or abandoned learning run stops at the next injection
-	// boundary, frees this slot, and is never cached.
+	// boundary, frees this slot, and is never cached. On cache hits the
+	// learn span closes with no phase children — the lookup's own cost.
+	tr := obs.TraceFrom(ctx)
 	lopt := params.Options()
 	lopt.Cancel = ctx.Done()
+	lsp := tr.Root().Start("learn")
+	lopt.Span = lsp
 	art, src, err := s.store.Learn(c, lopt)
+	lsp.End()
 	if err != nil {
 		if errors.Is(err, store.ErrCanceled) {
 			code, cerr := s.cancelStatus(ctx, "mid-run")
@@ -308,9 +386,9 @@ func (s *Server) handleLearn(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, http.StatusInternalServerError, err)
 		return
 	}
-	s.served["learn"].Add(1)
+	s.served["learn"].Inc()
 	ffff, gateFF, _ := art.DB.Counts(true)
-	s.writeJSON(w, LearnResponse{
+	resp := LearnResponse{
 		Circuit:      c.Name,
 		Fingerprint:  art.Fingerprint,
 		Cache:        src.String(),
@@ -322,7 +400,11 @@ func (s *Server) handleLearn(w http.ResponseWriter, r *http.Request) {
 		SeqTies:      len(art.SeqTies),
 		EquivClasses: art.EquivClasses,
 		ElapsedMS:    ms(time.Since(start)),
-	})
+	}
+	if params.Trace {
+		resp.Trace = tr.JSON()
+	}
+	s.writeJSON(w, resp)
 }
 
 func (s *Server) handleATPG(w http.ResponseWriter, r *http.Request) {
@@ -338,15 +420,19 @@ func (s *Server) handleATPG(w http.ResponseWriter, r *http.Request) {
 	}
 	ctx, cancel := s.requestContext(r, params.Learn.Timeout)
 	defer cancel()
-	release, ok := s.acquire(w, ctx)
+	release, ok := s.acquire(w, ctx, "atpg")
 	if !ok {
 		return
 	}
 	defer release()
 
+	tr := obs.TraceFrom(ctx)
 	lopt := params.Learn.Options()
 	lopt.Cancel = ctx.Done()
+	lsp := tr.Root().Start("learn")
+	lopt.Span = lsp
 	art, src, err := s.store.Learn(c, lopt)
+	lsp.End()
 	if err != nil {
 		if errors.Is(err, store.ErrCanceled) {
 			code, cerr := s.cancelStatus(ctx, "mid-run")
@@ -366,6 +452,8 @@ func (s *Server) handleATPG(w http.ResponseWriter, r *http.Request) {
 	// driver's cooperative cancellation, checked at every fault boundary,
 	// and a canceled run is never cached.
 	opt.Cancel = ctx.Done()
+	asp := tr.Root().Start("atpg")
+	opt.Span = asp
 	// Resolve through the test-set cache against the artifact's canonical
 	// circuit instance: the snapshot's node ids refer to it, and on cache
 	// hits it replaces this request's structurally identical parse.
@@ -374,6 +462,7 @@ func (s *Server) handleATPG(w http.ResponseWriter, r *http.Request) {
 		Options:  opt,
 		Reuse:    params.Reuse,
 	})
+	asp.End()
 	if err != nil {
 		if errors.Is(err, store.ErrCanceled) {
 			code, cerr := s.cancelStatus(ctx, "mid-run")
@@ -384,7 +473,7 @@ func (s *Server) handleATPG(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	res := &tart.Result
-	s.served["atpg"].Add(1)
+	s.served["atpg"].Inc()
 	resp := ATPGResponse{
 		Circuit:          c.Name,
 		Fingerprint:      art.Fingerprint,
@@ -416,6 +505,9 @@ func (s *Server) handleATPG(w http.ResponseWriter, r *http.Request) {
 			resp.TestVectors[i] = FormatTest(test)
 		}
 	}
+	if params.Learn.Trace {
+		resp.Trace = tr.JSON()
+	}
 	s.writeJSON(w, resp)
 }
 
@@ -434,12 +526,13 @@ func (s *Server) handleFaultSim(w http.ResponseWriter, r *http.Request) {
 	// deadline still bounds time spent waiting in the admission queue.
 	ctx, cancel := s.requestContext(r, params.Timeout)
 	defer cancel()
-	release, ok := s.acquire(w, ctx)
+	release, ok := s.acquire(w, ctx, "faultsim")
 	if !ok {
 		return
 	}
 	defer release()
 
+	tr := obs.TraceFrom(ctx)
 	frames := params.Frames
 	if frames <= 0 {
 		frames = 24
@@ -459,6 +552,9 @@ func (s *Server) handleFaultSim(w http.ResponseWriter, r *http.Request) {
 		vectors[t] = vec
 	}
 	ps := fault.NewParallelSim(c, params.Workers)
+	// fault_sim is an aggregate span: the good-machine load and the
+	// detection sweep each add their elapsed time.
+	ps.SetSpan(tr.Root().Start("fault_sim"))
 	ps.LoadSequence(vectors, nil)
 	detected := 0
 	for _, d := range ps.Detect(faults) {
@@ -466,19 +562,23 @@ func (s *Server) handleFaultSim(w http.ResponseWriter, r *http.Request) {
 			detected++
 		}
 	}
-	s.served["faultsim"].Add(1)
+	s.served["faultsim"].Inc()
 	coverage := 0.0
 	if len(faults) > 0 {
 		coverage = float64(detected) / float64(len(faults))
 	}
-	s.writeJSON(w, FaultSimResponse{
+	resp := FaultSimResponse{
 		Circuit:   c.Name,
 		Faults:    len(faults),
 		Detected:  detected,
 		Frames:    frames,
 		Coverage:  coverage,
 		ElapsedMS: ms(time.Since(start)),
-	})
+	}
+	if params.Trace {
+		resp.Trace = tr.JSON()
+	}
+	s.writeJSON(w, resp)
 }
 
 // SetDraining flips the readiness answer: while draining, /healthz
@@ -488,7 +588,12 @@ func (s *Server) handleFaultSim(w http.ResponseWriter, r *http.Request) {
 func (s *Server) SetDraining(v bool) { s.draining.Store(v) }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
-	h := HealthResponse{Status: "ok", UptimeMS: ms(time.Since(s.start)), Degraded: s.store.Degraded()}
+	h := HealthResponse{
+		Status:   "ok",
+		UptimeMS: ms(time.Since(s.start)),
+		Degraded: s.store.Degraded(),
+		Revision: obs.Revision(),
+	}
 	if s.draining.Load() {
 		h.Status = "draining"
 		w.Header().Set("Content-Type", "application/json")
@@ -506,7 +611,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 func (s *Server) StatsSnapshot() StatsResponse {
 	served := make(map[string]int64, len(s.served))
 	for k, v := range s.served {
-		served[k] = v.Load()
+		served[k] = v.Value()
 	}
 	cache := s.store.Stats()
 	return StatsResponse{
@@ -514,9 +619,9 @@ func (s *Server) StatsSnapshot() StatsResponse {
 		Cache:     cache,
 		InFlight:  s.inFlight.Load(),
 		Queued:    s.queued.Load(),
-		Abandoned: s.abandoned.Load(),
-		Shed:      s.shed.Load(),
-		TimedOut:  s.timedOut.Load(),
+		Abandoned: s.abandoned.Value(),
+		Shed:      s.shed.Value(),
+		TimedOut:  s.timedOut.Value(),
 		Degraded:  cache.Degraded,
 		Draining:  s.draining.Load(),
 		Served:    served,

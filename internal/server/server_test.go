@@ -419,8 +419,14 @@ func TestClientDisconnectFreesSlot(t *testing.T) {
 		}
 		time.Sleep(20 * time.Millisecond)
 	}
-	if canceled := srv.Store().Stats().ATPGCanceled; canceled != 1 {
-		t.Fatalf("store canceled count = %d, want 1", canceled)
+	// Which phase the cancellation lands in depends on timing (under the
+	// race detector the 100ms disconnect can hit the learn step rather
+	// than the ATPG search); either way exactly one run must have been
+	// cancelled mid-flight.
+	st := srv.Store().Stats()
+	if st.LearnCanceled+st.ATPGCanceled != 1 {
+		t.Fatalf("store canceled counts = learn %d + atpg %d, want 1 total",
+			st.LearnCanceled, st.ATPGCanceled)
 	}
 
 	// The freed slot serves the next request normally.

@@ -260,13 +260,13 @@ func (s *Store) atpgResolve(fp string, req ATPGRequest, seed *ATPGArtifact) (*AT
 	s.mu.Lock()
 	if el, ok := s.atpgByFP[fp]; ok {
 		s.atpgLRU.MoveToFront(el)
-		s.atpgHits++
+		s.atpgHits.Inc()
 		art := el.Value.(*atpgEntry).art
 		s.mu.Unlock()
 		return art, SourceMemory, nil, nil
 	}
 	if f, ok := s.atpgInflight[fp]; ok {
-		s.atpgCoalesced++
+		s.atpgCoalesced.Inc()
 		s.mu.Unlock()
 		// A coalesced waiter whose own client disconnects must release its
 		// compute slot immediately, not ride out the flight owner's run.
@@ -291,16 +291,16 @@ func (s *Store) atpgResolve(fp string, req ATPGRequest, seed *ATPGArtifact) (*AT
 	switch {
 	case err != nil:
 		if errors.Is(err, ErrCanceled) {
-			s.atpgCanceled++
+			s.atpgCanceled.Inc()
 		}
 	case src == SourceDisk:
-		s.atpgDiskHits++
+		s.atpgDiskHits.Inc()
 		s.insertATPGLocked(fp, art)
 	default:
-		s.atpgMisses++
-		s.atpgRuns++
+		s.atpgMisses.Inc()
+		s.atpgRuns.Inc()
 		if reuse != nil {
-			s.atpgReuses++
+			s.atpgReuses.Inc()
 		}
 		s.insertATPGLocked(fp, art)
 	}
@@ -386,6 +386,6 @@ func (s *Store) insertATPGLocked(fp string, art *ATPGArtifact) {
 		back := s.atpgLRU.Back()
 		delete(s.atpgByFP, back.Value.(*atpgEntry).fp)
 		s.atpgLRU.Remove(back)
-		s.atpgEvictions++
+		s.atpgEvictions.Inc()
 	}
 }

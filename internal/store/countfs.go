@@ -1,0 +1,76 @@
+package store
+
+import (
+	"io/fs"
+	"os"
+
+	"repro/internal/obs"
+)
+
+// countingFS wraps an FS to meter the bytes the disk cache moves, feeding
+// the seqlearnd_disk_read_bytes_total / seqlearnd_disk_written_bytes_total
+// counters. Errors pass through untouched — the degradation machinery
+// classifies them by type (*fs.PathError), so the wrapper must not
+// re-wrap.
+type countingFS struct {
+	inner   FS
+	read    *obs.Counter
+	written *obs.Counter
+}
+
+func newCountingFS(inner FS, reg *obs.Registry) countingFS {
+	return countingFS{
+		inner: inner,
+		read: reg.Counter("seqlearnd_disk_read_bytes_total",
+			"Bytes read from the on-disk artifact cache."),
+		written: reg.Counter("seqlearnd_disk_written_bytes_total",
+			"Bytes written to the on-disk artifact cache."),
+	}
+}
+
+func (c countingFS) Open(name string) (File, error) {
+	f, err := c.inner.Open(name)
+	if err != nil {
+		return nil, err
+	}
+	return &countingFile{File: f, reads: c.read}, nil
+}
+
+func (c countingFS) CreateTemp(dir, pattern string) (File, error) {
+	f, err := c.inner.CreateTemp(dir, pattern)
+	if err != nil {
+		return nil, err
+	}
+	return &countingFile{File: f, writes: c.written}, nil
+}
+
+func (c countingFS) Rename(oldpath, newpath string) error { return c.inner.Rename(oldpath, newpath) }
+func (c countingFS) MkdirAll(path string, perm os.FileMode) error {
+	return c.inner.MkdirAll(path, perm)
+}
+func (c countingFS) Remove(name string) error              { return c.inner.Remove(name) }
+func (c countingFS) Stat(name string) (fs.FileInfo, error) { return c.inner.Stat(name) }
+
+// countingFile meters the bytes that actually moved; short reads/writes
+// count what happened before the error.
+type countingFile struct {
+	File
+	reads  *obs.Counter
+	writes *obs.Counter
+}
+
+func (f *countingFile) Read(p []byte) (int, error) {
+	n, err := f.File.Read(p)
+	if f.reads != nil {
+		f.reads.Add(int64(n))
+	}
+	return n, err
+}
+
+func (f *countingFile) Write(p []byte) (int, error) {
+	n, err := f.File.Write(p)
+	if f.writes != nil {
+		f.writes.Add(int64(n))
+	}
+	return n, err
+}

@@ -41,10 +41,10 @@ func (s *Store) noteDiskError(err error) {
 	}
 	io := isDiskIOErr(err)
 	s.mu.Lock()
-	s.diskFails++
+	s.diskFails.Inc()
 	if io && !s.degraded.Load() {
 		s.degraded.Store(true)
-		s.degradations++
+		s.degradations.Inc()
 	}
 	s.mu.Unlock()
 	if io {

@@ -28,6 +28,7 @@ import (
 	"repro/internal/imply"
 	"repro/internal/learn"
 	"repro/internal/netlist"
+	"repro/internal/obs"
 )
 
 // Options configures a Store. The zero value is memory-only with the
@@ -48,6 +49,11 @@ type Options struct {
 	// ReprobeInterval bounds how often a degraded (memory-only, see
 	// degrade.go) store re-probes the disk to heal itself (default 5s).
 	ReprobeInterval time.Duration
+
+	// Metrics is the registry the store's counters and gauges live in, so
+	// /v1/stats and /metrics read the same cells and cannot drift. Nil gets
+	// a private registry (counters still work, nothing is exported).
+	Metrics *obs.Registry
 }
 
 func (o *Options) defaults() {
@@ -184,11 +190,13 @@ type Store struct {
 	atpgByFP     map[string]*list.Element
 	atpgInflight map[string]*atpgFlight
 
+	// All counters live in the obs registry (Options.Metrics); /v1/stats
+	// reads the same cells /metrics exports, so the two views cannot drift.
 	hits, coalesced, diskHits, misses, learns, evictions, diskFails,
-	learnCanceled, degradations int64
+	learnCanceled, degradations *obs.Counter
 
 	atpgHits, atpgCoalesced, atpgDiskHits, atpgMisses, atpgRuns,
-	atpgEvictions, atpgReuses, atpgCanceled int64
+	atpgEvictions, atpgReuses, atpgCanceled *obs.Counter
 }
 
 type entry struct {
@@ -209,7 +217,11 @@ type flight struct {
 // processes) warm from it.
 func New(opt Options) *Store {
 	opt.defaults()
-	return &Store{
+	reg := opt.Metrics
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	s := &Store{
 		opt:          opt,
 		fs:           opt.FS,
 		lru:          list.New(),
@@ -219,6 +231,84 @@ func New(opt Options) *Store {
 		atpgByFP:     map[string]*list.Element{},
 		atpgInflight: map[string]*atpgFlight{},
 	}
+	if opt.Dir != "" {
+		s.fs = newCountingFS(s.fs, reg)
+	}
+	s.registerMetrics(reg)
+	return s
+}
+
+// registerMetrics claims the store's counter and gauge cells in the
+// registry. The learn and test-set caches share family names distinguished
+// by a cache label, keeping the /metrics catalog compact.
+func (s *Store) registerMetrics(reg *obs.Registry) {
+	learnL := obs.Label{Key: "cache", Value: "learn"}
+	atpgL := obs.Label{Key: "cache", Value: "atpg"}
+
+	hitHelp := "In-memory LRU hits."
+	coalHelp := "Requests that waited on an in-flight run for the same fingerprint."
+	diskHelp := "Artifacts reloaded from the on-disk cache."
+	missHelp := "Requests that found nothing cached."
+	evictHelp := "LRU evictions."
+	s.hits = reg.Counter("seqlearnd_cache_hits_total", hitHelp, learnL)
+	s.coalesced = reg.Counter("seqlearnd_cache_coalesced_total", coalHelp, learnL)
+	s.diskHits = reg.Counter("seqlearnd_cache_disk_hits_total", diskHelp, learnL)
+	s.misses = reg.Counter("seqlearnd_cache_misses_total", missHelp, learnL)
+	s.evictions = reg.Counter("seqlearnd_cache_evictions_total", evictHelp, learnL)
+	s.atpgHits = reg.Counter("seqlearnd_cache_hits_total", hitHelp, atpgL)
+	s.atpgCoalesced = reg.Counter("seqlearnd_cache_coalesced_total", coalHelp, atpgL)
+	s.atpgDiskHits = reg.Counter("seqlearnd_cache_disk_hits_total", diskHelp, atpgL)
+	s.atpgMisses = reg.Counter("seqlearnd_cache_misses_total", missHelp, atpgL)
+	s.atpgEvictions = reg.Counter("seqlearnd_cache_evictions_total", evictHelp, atpgL)
+
+	s.learns = reg.Counter("seqlearnd_learn_runs_total",
+		"Learning runs actually executed (cache misses that went to compute).")
+	s.learnCanceled = reg.Counter("seqlearnd_learn_canceled_total",
+		"Learning runs abandoned mid-flight by their client or deadline.")
+	s.atpgRuns = reg.Counter("seqlearnd_atpg_runs_total",
+		"ATPG runs actually executed.")
+	s.atpgReuses = reg.Counter("seqlearnd_atpg_reuses_total",
+		"ATPG runs seeded by another artifact's test set.")
+	s.atpgCanceled = reg.Counter("seqlearnd_atpg_canceled_total",
+		"ATPG runs abandoned mid-flight by their client or deadline.")
+
+	s.diskFails = reg.Counter("seqlearnd_disk_fails_total",
+		"Failed disk cache reads/writes (misses excluded).")
+	s.degradations = reg.Counter("seqlearnd_degradations_total",
+		"Times the store entered the memory-only degraded state.")
+
+	reg.GaugeFunc("seqlearnd_store_degraded",
+		"1 while the disk cache is offline and the store serves memory-only.",
+		func() float64 {
+			if s.degraded.Load() {
+				return 1
+			}
+			return 0
+		})
+	reg.GaugeFunc("seqlearnd_cache_entries", "Artifacts currently in memory.",
+		func() float64 {
+			s.mu.Lock()
+			defer s.mu.Unlock()
+			return float64(s.lru.Len())
+		}, learnL)
+	reg.GaugeFunc("seqlearnd_cache_entries", "Artifacts currently in memory.",
+		func() float64 {
+			s.mu.Lock()
+			defer s.mu.Unlock()
+			return float64(s.atpgLRU.Len())
+		}, atpgL)
+	reg.GaugeFunc("seqlearnd_cache_in_flight", "Runs executing right now.",
+		func() float64 {
+			s.mu.Lock()
+			defer s.mu.Unlock()
+			return float64(len(s.inflight))
+		}, learnL)
+	reg.GaugeFunc("seqlearnd_cache_in_flight", "Runs executing right now.",
+		func() float64 {
+			s.mu.Lock()
+			defer s.mu.Unlock()
+			return float64(len(s.atpgInflight))
+		}, atpgL)
 }
 
 // Learn resolves the artifact for (c, lopt), running at most one learning
@@ -251,13 +341,13 @@ func (s *Store) learnResolve(fp string, c *netlist.Circuit, lopt learn.Options) 
 	s.mu.Lock()
 	if el, ok := s.byFP[fp]; ok {
 		s.lru.MoveToFront(el)
-		s.hits++
+		s.hits.Inc()
 		art := el.Value.(*entry).art
 		s.mu.Unlock()
 		return art, SourceMemory, nil
 	}
 	if f, ok := s.inflight[fp]; ok {
-		s.coalesced++
+		s.coalesced.Inc()
 		s.mu.Unlock()
 		// A coalesced waiter whose own client disconnects must release its
 		// compute slot immediately, not ride out the flight owner's run.
@@ -282,14 +372,14 @@ func (s *Store) learnResolve(fp string, c *netlist.Circuit, lopt learn.Options) 
 	switch {
 	case err != nil:
 		if errors.Is(err, ErrCanceled) {
-			s.learnCanceled++
+			s.learnCanceled.Inc()
 		}
 	case src == SourceDisk:
-		s.diskHits++
+		s.diskHits.Inc()
 		s.insertLocked(fp, art)
 	default:
-		s.misses++
-		s.learns++
+		s.misses.Inc()
+		s.learns.Inc()
 		s.insertLocked(fp, art)
 	}
 	s.mu.Unlock()
@@ -345,7 +435,7 @@ func (s *Store) insertLocked(fp string, art *Artifact) {
 		back := s.lru.Back()
 		delete(s.byFP, back.Value.(*entry).fp)
 		s.lru.Remove(back)
-		s.evictions++
+		s.evictions.Inc()
 	}
 }
 
@@ -355,28 +445,28 @@ func (s *Store) Stats() Stats {
 	defer s.mu.Unlock()
 	return Stats{
 		Entries:   s.lru.Len(),
-		Hits:      s.hits,
-		Coalesced: s.coalesced,
-		DiskHits:  s.diskHits,
-		Misses:    s.misses,
-		Learns:    s.learns,
-		Evictions: s.evictions,
-		DiskFails: s.diskFails,
+		Hits:      s.hits.Value(),
+		Coalesced: s.coalesced.Value(),
+		DiskHits:  s.diskHits.Value(),
+		Misses:    s.misses.Value(),
+		Learns:    s.learns.Value(),
+		Evictions: s.evictions.Value(),
+		DiskFails: s.diskFails.Value(),
 		InFlight:  len(s.inflight),
 
-		LearnCanceled: s.learnCanceled,
+		LearnCanceled: s.learnCanceled.Value(),
 		Degraded:      s.degraded.Load(),
-		Degradations:  s.degradations,
+		Degradations:  s.degradations.Value(),
 
 		ATPGEntries:   s.atpgLRU.Len(),
-		ATPGHits:      s.atpgHits,
-		ATPGCoalesced: s.atpgCoalesced,
-		ATPGDiskHits:  s.atpgDiskHits,
-		ATPGMisses:    s.atpgMisses,
-		ATPGRuns:      s.atpgRuns,
-		ATPGEvictions: s.atpgEvictions,
-		ATPGReuses:    s.atpgReuses,
-		ATPGCanceled:  s.atpgCanceled,
+		ATPGHits:      s.atpgHits.Value(),
+		ATPGCoalesced: s.atpgCoalesced.Value(),
+		ATPGDiskHits:  s.atpgDiskHits.Value(),
+		ATPGMisses:    s.atpgMisses.Value(),
+		ATPGRuns:      s.atpgRuns.Value(),
+		ATPGEvictions: s.atpgEvictions.Value(),
+		ATPGReuses:    s.atpgReuses.Value(),
+		ATPGCanceled:  s.atpgCanceled.Value(),
 		ATPGInFlight:  len(s.atpgInflight),
 	}
 }

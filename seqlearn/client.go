@@ -195,14 +195,26 @@ func retryableStatus(code int) bool {
 	return false
 }
 
-// retryAfter parses the Retry-After header (seconds form) of a rejection,
-// 0 when absent or malformed.
+// retryAfter parses the Retry-After header of a rejection: RFC 9110
+// allows both delta-seconds and an HTTP-date. Returns 0 when absent,
+// malformed, or (for the date form) already in the past.
 func retryAfter(resp *http.Response) time.Duration {
-	secs, err := strconv.Atoi(resp.Header.Get("Retry-After"))
-	if err != nil || secs < 0 {
+	v := resp.Header.Get("Retry-After")
+	if v == "" {
 		return 0
 	}
-	return time.Duration(secs) * time.Second
+	if secs, err := strconv.Atoi(v); err == nil {
+		if secs < 0 {
+			return 0
+		}
+		return time.Duration(secs) * time.Second
+	}
+	if when, err := http.ParseTime(v); err == nil {
+		if d := time.Until(when); d > 0 {
+			return d
+		}
+	}
+	return 0
 }
 
 // delay computes the wait before the next attempt: capped exponential

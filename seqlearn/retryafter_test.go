@@ -1,0 +1,86 @@
+package seqlearn
+
+// White-box tests for Retry-After parsing: RFC 9110 §10.2.3 allows both
+// delta-seconds and an HTTP-date, and the daemon's EWMA estimate is only
+// one producer — proxies in front of it may rewrite the header into the
+// date form.
+
+import (
+	"net/http"
+	"testing"
+	"time"
+)
+
+func respWithRetryAfter(v string) *http.Response {
+	h := http.Header{}
+	if v != "" {
+		h.Set("Retry-After", v)
+	}
+	return &http.Response{Header: h}
+}
+
+func TestRetryAfterDeltaSeconds(t *testing.T) {
+	cases := []struct {
+		header string
+		want   time.Duration
+	}{
+		{"", 0},
+		{"0", 0},
+		{"7", 7 * time.Second},
+		{"120", 2 * time.Minute},
+		{"-3", 0},         // negative delta is malformed
+		{"2.5", 0},        // fractional seconds are not in the grammar
+		{"soon", 0},       // garbage
+		{"10 seconds", 0}, // trailing junk
+	}
+	for _, c := range cases {
+		if got := retryAfter(respWithRetryAfter(c.header)); got != c.want {
+			t.Errorf("retryAfter(%q) = %v, want %v", c.header, got, c.want)
+		}
+	}
+}
+
+func TestRetryAfterHTTPDate(t *testing.T) {
+	// A date ~10s out must yield a duration close to 10s. The parse and
+	// the subtraction race the wall clock, so accept a generous window.
+	future := time.Now().Add(10 * time.Second).UTC().Format(http.TimeFormat)
+	got := retryAfter(respWithRetryAfter(future))
+	if got < 8*time.Second || got > 11*time.Second {
+		t.Errorf("retryAfter(%q) = %v, want ~10s", future, got)
+	}
+
+	// RFC 850 and ANSI C asctime forms are also valid HTTP-dates.
+	rfc850 := time.Now().Add(10 * time.Second).UTC().Format("Monday, 02-Jan-06 15:04:05 GMT")
+	if got := retryAfter(respWithRetryAfter(rfc850)); got < 8*time.Second || got > 11*time.Second {
+		t.Errorf("retryAfter(RFC 850 %q) = %v, want ~10s", rfc850, got)
+	}
+	asctime := time.Now().Add(10 * time.Second).UTC().Format(time.ANSIC)
+	if got := retryAfter(respWithRetryAfter(asctime)); got < 8*time.Second || got > 11*time.Second {
+		t.Errorf("retryAfter(asctime %q) = %v, want ~10s", asctime, got)
+	}
+
+	// A date in the past means "retry now", not a negative sleep.
+	past := time.Now().Add(-time.Minute).UTC().Format(http.TimeFormat)
+	if got := retryAfter(respWithRetryAfter(past)); got != 0 {
+		t.Errorf("retryAfter(past date) = %v, want 0", got)
+	}
+}
+
+func TestRetryAfterCappedByMaxDelay(t *testing.T) {
+	pol := RetryPolicy{MaxAttempts: 3, BaseDelay: time.Millisecond, MaxDelay: 50 * time.Millisecond}
+
+	// Advice far beyond MaxDelay — whichever form it arrived in — must be
+	// clamped so one pessimistic server estimate cannot park the client.
+	for _, header := range []string{
+		"3600",
+		time.Now().Add(time.Hour).UTC().Format(http.TimeFormat),
+	} {
+		advised := retryAfter(respWithRetryAfter(header))
+		if advised < 50*time.Millisecond {
+			t.Fatalf("advice %q parsed as %v, expected large", header, advised)
+		}
+		if d := pol.delay(1, advised); d > pol.MaxDelay {
+			t.Errorf("delay with advice %q = %v, exceeds MaxDelay %v", header, d, pol.MaxDelay)
+		}
+	}
+}
