@@ -1,0 +1,81 @@
+// Fleet walk-through: three seqlearnd instances over one shared cache
+// directory, driven through seqlearn.Fleet. The first request pays for
+// the only learning run the whole fleet ever executes — the other
+// instances load the artifact from the shared disk — and a partitioned
+// ATPG scatter/gather merges bit-identically to the single-instance run.
+// Production runs one `seqlearnd -cache-dir /shared/dir` per machine; the
+// in-process harness here is the same code path minus the network.
+package main
+
+import (
+	"context"
+	"fmt"
+	"os"
+
+	"repro/internal/fleet"
+	"repro/internal/server"
+	"repro/seqlearn"
+)
+
+func main() {
+	ctx := context.Background()
+	cluster, err := fleet.Start(3, server.Config{})
+	if err != nil {
+		fail(err)
+	}
+	defer cluster.Close()
+	urls := cluster.URLs()
+	fmt.Printf("3 daemons over shared cache dir %s\n\n", cluster.Dir)
+
+	c := seqlearn.Benchmark("s953")
+	params := seqlearn.ServiceATPGParams{
+		Mode: "forbidden", Backtracks: 30, MaxFaults: 300, Compact: true, IncludeTests: true,
+	}
+
+	// One daemon serves the whole run: this is the answer the scatter must
+	// reproduce, and the learning run every other instance will reuse.
+	single := seqlearn.NewClient(urls[0])
+	single.SetTenant("walkthrough")
+	want, err := single.GenerateTests(ctx, c, params)
+	if err != nil {
+		fail(err)
+	}
+	fmt.Printf("single daemon: faults=%d detected=%d tests=%d backtracks=%d in %.1fms\n",
+		want.Total, want.Detected, want.Tests, want.Backtracks, want.ElapsedMS)
+
+	// Scatter shard i/3 to daemon i and merge locally. The shards resolve
+	// the learned snapshot through the shared directory — no new learning —
+	// and the merge replays fault dropping in canonical order, so every
+	// count and every test vector matches the single-daemon run exactly.
+	fl := seqlearn.NewFleet(urls...)
+	merged, err := fl.GenerateTests(ctx, c, params)
+	if err != nil {
+		fail(err)
+	}
+	fmt.Printf("3-way scatter: faults=%d detected=%d tests=%d backtracks=%d\n",
+		merged.Total, merged.Detected, len(merged.Tests), merged.Backtracks)
+	identical := merged.Detected == want.Detected && len(merged.Tests) == want.Tests &&
+		merged.Backtracks == want.Backtracks
+	for i, test := range merged.Tests {
+		vec := seqlearn.FormatServiceTest(test)
+		for j, frame := range vec {
+			if frame != want.TestVectors[i][j] {
+				identical = false
+			}
+		}
+	}
+	fmt.Printf("bit-identical to single daemon: %v\n", identical)
+	fmt.Printf("learning runs fleet-wide: %d (shared dir holds the one artifact)\n\n",
+		cluster.TotalLearns())
+
+	// The second daemon never learned anything: its store pulled the
+	// artifact a peer wrote.
+	st := cluster.Servers()[1].Store().Stats()
+	fmt.Printf("daemon 1: learns=%d disk-hits=%d peer-disk-hits=%d\n",
+		st.Learns, st.DiskHits, st.PeerDiskHits)
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "fleet:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,39 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/equiv"
+)
+
+// FuzzParseRoundTrip feeds arbitrary text to the .bench parser. Inputs the
+// parser rejects must fail cleanly (no panic); inputs it accepts must
+// survive a Write/Parse round trip structurally unchanged — the invariant
+// the whole content-addressed cache rests on, since fingerprints hash the
+// written form while daemons parse uploaded bodies.
+func FuzzParseRoundTrip(f *testing.F) {
+	f.Add("INPUT(a)\nOUTPUT(y)\ny = NOT(a)\n")
+	f.Add("# comment\nINPUT(a)\nINPUT(b)\nOUTPUT(y)\nq = DFF(d)\nd = AND(a, b)\ny = OR(q, b)\n")
+	f.Add("INPUT(a)\nOUTPUT(y)\ny = NAND(a, a)\n")
+	f.Add("INPUT(a)\nOUTPUT(y)\nt = BUF(a)\ny = XOR(t, a)\n")
+	f.Add("INPUT(a)")
+	f.Add("y = AND(a, b)\n")
+	f.Fuzz(func(t *testing.T, text string) {
+		c, err := Parse("fuzz", strings.NewReader(text))
+		if err != nil {
+			return
+		}
+		var sb strings.Builder
+		if err := Write(&sb, c); err != nil {
+			t.Fatalf("accepted circuit failed to serialize: %v", err)
+		}
+		c2, err := Parse("fuzz", strings.NewReader(sb.String()))
+		if err != nil {
+			t.Fatalf("serialized form failed to re-parse: %v\n%s", err, sb.String())
+		}
+		if err := equiv.Structural(c, c2); err != nil {
+			t.Fatalf("round trip not structurally equivalent: %v\n%s", err, sb.String())
+		}
+	})
+}

@@ -1,0 +1,36 @@
+package obs
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzLintExposition throws arbitrary payloads at the exposition linter:
+// it must classify anything — truncated label sets, dangling escapes,
+// shuffled histogram lines — with a clean error or acceptance, never a
+// panic. The linter gates every /metrics test in the repo, so a crash here
+// would take the whole observability suite down with it. A well-formed
+// registry dump is among the seeds to keep the accepting paths covered.
+func FuzzLintExposition(f *testing.F) {
+	reg := NewRegistry()
+	reg.Counter("fuzz_requests_total", "requests", Label{Key: "endpoint", Value: "learn"}).Inc()
+	reg.Gauge("fuzz_in_flight", "in flight").Set(2)
+	reg.Histogram("fuzz_latency_seconds", "latency", []float64{0.1, 1}).Observe(0.5)
+	var valid bytes.Buffer
+	if err := reg.WritePrometheus(&valid); err != nil {
+		f.Fatal(err)
+	}
+	if err := LintExposition(valid.Bytes()); err != nil {
+		f.Fatalf("registry dump fails its own linter: %v", err)
+	}
+	f.Add(valid.Bytes())
+	f.Add([]byte("# HELP a b\n# TYPE a counter\na 1\n"))
+	f.Add([]byte("# HELP h h\n# TYPE h histogram\nh_bucket{le=\"+Inf\"} 3\nh_count 3\nh_sum 1.5\n"))
+	f.Add([]byte("a{b=\"c\\\"} 1\n"))
+	f.Add([]byte("a{le=\"0.1\" 2\n"))
+	f.Add([]byte("# TYPE orphan counter\norphan 1\n"))
+	f.Fuzz(func(t *testing.T, payload []byte) {
+		// Errors are expected on garbage; the invariant is no panic.
+		_ = LintExposition(payload)
+	})
+}

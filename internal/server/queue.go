@@ -1,0 +1,205 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"sync"
+)
+
+// Tenant-fair admission. PR 8's admission control was one global FIFO: a
+// tenant that bursts 16 requests owns the whole queue and every other
+// tenant waits behind it. The fairQueue keeps the same envelope — a fixed
+// slot pool, a bounded total queue, shed beyond it — but queues waiters per
+// tenant and hands freed slots out round-robin across tenants, so K
+// tenants under contention each see ~1/K of the pool no matter how deep
+// any one of them queues.
+//
+// All admission state mutates under one mutex, and a freed slot is handed
+// directly to the chosen waiter (ownership transfer) rather than returned
+// to a shared pool for waiters to race over: the round-robin decision and
+// the grant are atomic, so a burst arriving between release and re-acquire
+// cannot barge past a queued tenant.
+
+// errQueueFull sheds a request when the total queue is at capacity.
+var errQueueFull = errors.New("compute pool and admission queue full")
+
+type fqWaiter struct {
+	tenant  string
+	ready   chan struct{} // closed when a slot is granted
+	granted bool          // guarded by fairQueue.mu
+}
+
+// fairQueue is the tenant-fair slot pool. The zero value is not usable;
+// construct with newFairQueue.
+type fairQueue struct {
+	slots    int
+	maxQueue int
+
+	mu     sync.Mutex
+	free   int
+	queues map[string][]*fqWaiter // per-tenant FIFO
+	ring   []string               // tenants with waiters, round-robin order
+	next   int                    // ring cursor
+	queued int                    // total waiters across tenants
+}
+
+func newFairQueue(slots, maxQueue int) *fairQueue {
+	return &fairQueue{
+		slots:    slots,
+		maxQueue: maxQueue,
+		free:     slots,
+		queues:   map[string][]*fqWaiter{},
+	}
+}
+
+// Slots returns the pool capacity.
+func (q *fairQueue) Slots() int { return q.slots }
+
+// Depth returns the total number of queued waiters.
+func (q *fairQueue) Depth() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.queued
+}
+
+// DepthByTenant snapshots the per-tenant queue depths.
+func (q *fairQueue) DepthByTenant() map[string]int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	out := make(map[string]int, len(q.queues))
+	for t, ws := range q.queues {
+		if len(ws) > 0 {
+			out[t] = len(ws)
+		}
+	}
+	return out
+}
+
+// TryAcquire grants a slot immediately when one is free and nobody is
+// queued (a free slot with waiters cannot happen — releases hand slots to
+// waiters directly — but the guard keeps the invariant local).
+func (q *fairQueue) TryAcquire() bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.free > 0 && q.queued == 0 {
+		q.free--
+		return true
+	}
+	return false
+}
+
+// Acquire queues the caller under its tenant and blocks until a released
+// slot is handed to it round-robin, the context ends, or the total queue
+// is full (errQueueFull, immediately). On nil error the caller owns a slot
+// and must Release it.
+func (q *fairQueue) Acquire(ctx context.Context, tenant string) error {
+	q.mu.Lock()
+	if q.free > 0 && q.queued == 0 {
+		q.free--
+		q.mu.Unlock()
+		return nil
+	}
+	if q.queued >= q.maxQueue {
+		q.mu.Unlock()
+		return errQueueFull
+	}
+	w := &fqWaiter{tenant: tenant, ready: make(chan struct{})}
+	if len(q.queues[tenant]) == 0 {
+		q.ring = append(q.ring, tenant)
+	}
+	q.queues[tenant] = append(q.queues[tenant], w)
+	q.queued++
+	q.mu.Unlock()
+
+	select {
+	case <-w.ready:
+		return nil
+	case <-ctx.Done():
+		q.mu.Lock()
+		defer q.mu.Unlock()
+		if w.granted {
+			// A release handed us the slot while the context was ending;
+			// pass it on (or free it) instead of leaking it.
+			q.releaseLocked()
+			return ctx.Err()
+		}
+		q.removeLocked(w)
+		return ctx.Err()
+	}
+}
+
+// Release returns a slot: directly to the next round-robin waiter when any
+// tenant is queued, to the free pool otherwise.
+func (q *fairQueue) Release() {
+	q.mu.Lock()
+	q.releaseLocked()
+	q.mu.Unlock()
+}
+
+func (q *fairQueue) releaseLocked() {
+	w := q.nextWaiterLocked()
+	if w == nil {
+		q.free++
+		return
+	}
+	w.granted = true
+	close(w.ready)
+}
+
+// nextWaiterLocked dequeues the head waiter of the tenant under the ring
+// cursor and advances the cursor, removing tenants whose queue drains.
+func (q *fairQueue) nextWaiterLocked() *fqWaiter {
+	if q.queued == 0 {
+		return nil
+	}
+	if q.next >= len(q.ring) {
+		q.next = 0
+	}
+	tenant := q.ring[q.next]
+	ws := q.queues[tenant]
+	w := ws[0]
+	ws = ws[1:]
+	q.queued--
+	if len(ws) == 0 {
+		delete(q.queues, tenant)
+		q.ring = append(q.ring[:q.next], q.ring[q.next+1:]...)
+		if q.next >= len(q.ring) {
+			q.next = 0
+		}
+	} else {
+		q.queues[tenant] = ws
+		q.next = (q.next + 1) % len(q.ring)
+	}
+	return w
+}
+
+// removeLocked deletes a waiter that gave up (context canceled) from its
+// tenant queue, keeping the ring and cursor consistent.
+func (q *fairQueue) removeLocked(w *fqWaiter) {
+	ws := q.queues[w.tenant]
+	for i, cand := range ws {
+		if cand != w {
+			continue
+		}
+		ws = append(ws[:i], ws[i+1:]...)
+		q.queued--
+		if len(ws) == 0 {
+			delete(q.queues, w.tenant)
+			for ri, t := range q.ring {
+				if t == w.tenant {
+					q.ring = append(q.ring[:ri], q.ring[ri+1:]...)
+					if ri < q.next {
+						q.next--
+					}
+					if q.next >= len(q.ring) {
+						q.next = 0
+					}
+					break
+				}
+			}
+		} else {
+			q.queues[w.tenant] = ws
+		}
+		return
+	}
+}

@@ -1,0 +1,192 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+)
+
+// enqueueWaiter queues one Acquire under the tenant and returns a channel
+// that delivers the tag once the slot is granted. It blocks until the
+// waiter is actually queued, so callers control enqueue order exactly.
+func enqueueWaiter(t *testing.T, q *fairQueue, ctx context.Context, tenant, tag string, granted chan<- string) <-chan error {
+	t.Helper()
+	before := q.Depth()
+	done := make(chan error, 1)
+	go func() {
+		err := q.Acquire(ctx, tenant)
+		if err == nil {
+			granted <- tag
+		}
+		done <- err
+	}()
+	deadline := time.Now().Add(5 * time.Second)
+	for q.Depth() == before {
+		if time.Now().After(deadline) {
+			t.Fatalf("waiter %s never queued", tag)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	return done
+}
+
+// TestFairQueueRoundRobin is the fairness gate: with one slot busy and
+// tenant A six requests deep, releases must interleave B and C instead of
+// draining A first.
+func TestFairQueueRoundRobin(t *testing.T) {
+	q := newFairQueue(1, 16)
+	if !q.TryAcquire() {
+		t.Fatal("fresh queue has no free slot")
+	}
+
+	granted := make(chan string, 8)
+	ctx := context.Background()
+	var dones []<-chan error
+	// Enqueue order: A1 A2 A3 B1 B2 C1. FIFO would grant A1 A2 A3 B1 B2 C1;
+	// round-robin across tenants grants A1 B1 C1 A2 B2 A3.
+	for _, w := range []struct{ tenant, tag string }{
+		{"a", "A1"}, {"a", "A2"}, {"a", "A3"},
+		{"b", "B1"}, {"b", "B2"},
+		{"c", "C1"},
+	} {
+		dones = append(dones, enqueueWaiter(t, q, ctx, w.tenant, w.tag, granted))
+	}
+	if d := q.DepthByTenant(); d["a"] != 3 || d["b"] != 2 || d["c"] != 1 {
+		t.Fatalf("queued depths = %v", d)
+	}
+
+	want := []string{"A1", "B1", "C1", "A2", "B2", "A3"}
+	for i, w := range want {
+		q.Release()
+		select {
+		case got := <-granted:
+			if got != w {
+				t.Fatalf("grant %d = %s, want %s (round-robin order %v)", i, got, w, want)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatalf("grant %d (%s) never arrived", i, w)
+		}
+	}
+	for _, done := range dones {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+	// The last grant is still held; releasing it with nobody queued must
+	// free the slot for TryAcquire again.
+	q.Release()
+	if !q.TryAcquire() {
+		t.Fatal("slot not returned to the free pool")
+	}
+}
+
+// TestFairQueueShed: the total queue bound applies across tenants, and a
+// shed request never occupies queue state.
+func TestFairQueueShed(t *testing.T) {
+	q := newFairQueue(1, 2)
+	if !q.TryAcquire() {
+		t.Fatal("no free slot")
+	}
+	granted := make(chan string, 4)
+	ctx := context.Background()
+	d1 := enqueueWaiter(t, q, ctx, "a", "A1", granted)
+	d2 := enqueueWaiter(t, q, ctx, "b", "B1", granted)
+
+	// Queue full: a third waiter — new tenant or not — sheds immediately.
+	if err := q.Acquire(ctx, "c"); !errors.Is(err, errQueueFull) {
+		t.Fatalf("Acquire on full queue = %v, want errQueueFull", err)
+	}
+	if q.Depth() != 2 {
+		t.Fatalf("shed request left queue state: depth %d", q.Depth())
+	}
+
+	q.Release()
+	q.Release()
+	if err := <-d1; err != nil {
+		t.Fatal(err)
+	}
+	if err := <-d2; err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFairQueueCancelWhileQueued: a canceled waiter leaves the queue (and
+// the ring) consistent, and later releases skip it.
+func TestFairQueueCancelWhileQueued(t *testing.T) {
+	q := newFairQueue(1, 16)
+	if !q.TryAcquire() {
+		t.Fatal("no free slot")
+	}
+	granted := make(chan string, 4)
+	cctx, cancel := context.WithCancel(context.Background())
+	dA := enqueueWaiter(t, q, cctx, "a", "A1", granted)
+	dB := enqueueWaiter(t, q, context.Background(), "b", "B1", granted)
+
+	cancel()
+	if err := <-dA; !errors.Is(err, context.Canceled) {
+		t.Fatalf("canceled Acquire = %v", err)
+	}
+	if d := q.DepthByTenant(); len(d) != 1 || d["b"] != 1 {
+		t.Fatalf("depths after cancel = %v", d)
+	}
+
+	q.Release()
+	if got := <-granted; got != "B1" {
+		t.Fatalf("grant = %s, want B1", got)
+	}
+	if err := <-dB; err != nil {
+		t.Fatal(err)
+	}
+	// B still holds the slot; nothing queued.
+	if q.TryAcquire() {
+		t.Fatal("slot double-granted")
+	}
+	q.Release()
+	if !q.TryAcquire() {
+		t.Fatal("slot lost after cancel/grant sequence")
+	}
+}
+
+// TestFairQueueManyTenantsStress hammers the queue from many goroutines
+// (run under -race in CI): every Acquire must eventually grant, and the
+// slot accounting must balance to exactly free==slots at the end.
+func TestFairQueueManyTenantsStress(t *testing.T) {
+	const slots, tenants, perTenant = 4, 8, 25
+	q := newFairQueue(slots, tenants*perTenant)
+	done := make(chan error, tenants*perTenant)
+	for ti := 0; ti < tenants; ti++ {
+		tenant := fmt.Sprintf("t%d", ti)
+		for i := 0; i < perTenant; i++ {
+			go func() {
+				err := q.Acquire(context.Background(), tenant)
+				if err == nil {
+					q.Release()
+				}
+				done <- err
+			}()
+		}
+	}
+	for i := 0; i < tenants*perTenant; i++ {
+		select {
+		case err := <-done:
+			if err != nil {
+				t.Fatal(err)
+			}
+		case <-time.After(10 * time.Second):
+			t.Fatal("acquire starved")
+		}
+	}
+	if q.Depth() != 0 {
+		t.Fatalf("depth %d after drain", q.Depth())
+	}
+	for i := 0; i < slots; i++ {
+		if !q.TryAcquire() {
+			t.Fatalf("slot %d lost", i)
+		}
+	}
+	if q.TryAcquire() {
+		t.Fatal("extra slot materialized")
+	}
+}

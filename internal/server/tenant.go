@@ -1,0 +1,104 @@
+package server
+
+import (
+	"sync"
+
+	"repro/internal/obs"
+)
+
+// Per-tenant observability. Tenant names are caller-chosen (the X-Tenant
+// header), and unbounded label sets are how a metrics backend dies, so at
+// most maxTenantLabels distinct tenants get their own label value; the
+// rest aggregate under the "_other" overflow label. /v1/stats carries the
+// same counters keyed by the label actually used, plus live per-tenant
+// queue depths from the fair queue.
+
+const (
+	maxTenantLabels = 32
+	tenantOverflow  = "_other"
+)
+
+type tenantMetrics struct {
+	reg *obs.Registry
+
+	mu   sync.Mutex
+	reqs map[string]*obs.Counter
+	shds map[string]*obs.Counter
+}
+
+func newTenantMetrics(reg *obs.Registry) *tenantMetrics {
+	return &tenantMetrics{
+		reg:  reg,
+		reqs: map[string]*obs.Counter{},
+		shds: map[string]*obs.Counter{},
+	}
+}
+
+// label maps a tenant to its metric label value, folding tenants past the
+// cardinality cap into the overflow bucket. Callers hold t.mu.
+func (t *tenantMetrics) labelLocked(tenant string) string {
+	if _, ok := t.reqs[tenant]; ok {
+		return tenant
+	}
+	if len(t.reqs) >= maxTenantLabels {
+		return tenantOverflow
+	}
+	return tenant
+}
+
+func (t *tenantMetrics) counterLocked(m map[string]*obs.Counter, name, help, tenant string) *obs.Counter {
+	c, ok := m[tenant]
+	if !ok {
+		c = t.reg.Counter(name, help, obs.Label{Key: "tenant", Value: tenant})
+		m[tenant] = c
+	}
+	return c
+}
+
+// requests returns the compute-request counter for the tenant.
+func (t *tenantMetrics) requests(tenant string) *obs.Counter {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	l := t.labelLocked(tenant)
+	return t.counterLocked(t.reqs, "seqlearnd_tenant_requests_total",
+		"Compute requests received (fingerprint fast-path hits included), by tenant.", l)
+}
+
+// shed returns the shed counter for the tenant (same label fold as
+// requests, so the two series always align).
+func (t *tenantMetrics) shed(tenant string) *obs.Counter {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	l := t.labelLocked(tenant)
+	return t.counterLocked(t.shds, "seqlearnd_tenant_shed_total",
+		"Compute requests shed with 429, by tenant.", l)
+}
+
+// TenantStats is the per-tenant slice of /v1/stats.
+type TenantStats struct {
+	Requests int64 `json:"requests"`         // compute requests entering admission
+	Shed     int64 `json:"shed,omitempty"`   // rejected with 429
+	Queued   int   `json:"queued,omitempty"` // waiting for a slot right now
+}
+
+// snapshot merges the counters with the live queue depths.
+func (t *tenantMetrics) snapshot(depths map[string]int) map[string]TenantStats {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make(map[string]TenantStats, len(t.reqs))
+	for tenant, c := range t.reqs {
+		st := TenantStats{Requests: c.Value(), Queued: depths[tenant]}
+		if sc, ok := t.shds[tenant]; ok {
+			st.Shed = sc.Value()
+		}
+		out[tenant] = st
+	}
+	// Tenants queued but folded into the overflow label still surface
+	// their live depth.
+	for tenant, d := range depths {
+		if _, ok := out[tenant]; !ok {
+			out[tenant] = TenantStats{Queued: d}
+		}
+	}
+	return out
+}

@@ -157,6 +157,12 @@ func chanceled(ch <-chan struct{}) bool {
 	}
 }
 
+// ValidFingerprint reports whether s is a well-formed content address (64
+// lowercase hex digits) — the check the HTTP layer runs on
+// request-supplied fingerprints (reuse=, X-Circuit-Fingerprint) before
+// they reach lookups or error messages.
+func ValidFingerprint(s string) bool { return validFingerprint(s) }
+
 // validFingerprint reports whether s is a well-formed content address: 64
 // lowercase hex digits. Request-supplied fingerprints (reuse=) must pass
 // this before they are sliced for display or joined into a disk path.
@@ -295,6 +301,9 @@ func (s *Store) atpgResolve(fp string, req ATPGRequest, seed *ATPGArtifact) (*AT
 		}
 	case src == SourceDisk:
 		s.atpgDiskHits.Inc()
+		if _, self := s.saved.Load(fp); !self {
+			s.atpgPeerDiskHits.Inc()
+		}
 		s.insertATPGLocked(fp, art)
 	default:
 		s.atpgMisses.Inc()
@@ -368,6 +377,8 @@ func (s *Store) atpgBuild(fp string, req ATPGRequest, seed *ATPGArtifact) (*ATPG
 	if s.diskAvailable() {
 		if err := s.saveDiskATPG(art); err != nil {
 			s.noteDiskError(err)
+		} else {
+			s.saved.Store(fp, struct{}{})
 		}
 	}
 	return art, SourceLearned, reuse, nil

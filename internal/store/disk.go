@@ -20,7 +20,9 @@ import (
 // two fingerprint hex digits to keep directories small at scale:
 //
 //	<dir>/<fp[:2]>/<fp>.imply   relations, in the imply serialization format
-//	<dir>/<fp[:2]>/<fp>.ties    one "name value frame" line per tied gate
+//	<dir>/<fp[:2]>/<fp>.ties    one "name value frame" line per tied gate,
+//	                            preceded by "# key value" header lines
+//	                            carrying scalar learn results (equiv-classes)
 //
 // Both files are written via a temp file + rename, so a crashed writer
 // never leaves a partial artifact a later load would trust. The .imply
@@ -48,6 +50,12 @@ func (s *Store) saveDisk(art *Artifact) error {
 		return err
 	}
 	if err := writeAtomic(s.fs, tiesPath, func(w *bufio.Writer) error {
+		// Scalar results that aren't derivable from the relations or ties
+		// ride as header lines, so a disk reload answers exactly what the
+		// original learning run did.
+		if _, err := fmt.Fprintf(w, "# equiv-classes %d\n", art.EquivClasses); err != nil {
+			return err
+		}
 		for _, tie := range art.Ties() {
 			if _, err := fmt.Fprintf(w, "%s %s %d\n",
 				art.Circuit.NameOf(tie.Node), tie.Val, tie.Frame); err != nil {
@@ -92,17 +100,18 @@ func (s *Store) loadDisk(fp string, c *netlist.Circuit) (*Artifact, error) {
 		return nil, err
 	}
 	defer tf.Close()
-	combTies, seqTies, err := readTies(c, tf)
+	combTies, seqTies, equiv, err := readTies(c, tf)
 	if err != nil {
 		return nil, err
 	}
 
 	return &Artifact{
-		Fingerprint: fp,
-		Circuit:     c,
-		DB:          snap,
-		CombTies:    combTies,
-		SeqTies:     seqTies,
+		Fingerprint:  fp,
+		Circuit:      c,
+		DB:           snap,
+		CombTies:     combTies,
+		SeqTies:      seqTies,
+		EquivClasses: equiv,
 	}, nil
 }
 
@@ -110,8 +119,11 @@ func (s *Store) loadDisk(fp string, c *netlist.Circuit) (*Artifact, error) {
 func isNotExist(err error) bool { return errors.Is(err, fs.ErrNotExist) }
 
 // readTies parses the ties file, splitting combinational (frame 0) from
-// sequential ties the way learn.Result does.
-func readTies(c *netlist.Circuit, f io.Reader) (comb, seq []learn.Tie, err error) {
+// sequential ties the way learn.Result does. "# key value" header lines
+// carry scalar results; unknown keys are skipped (older readers ignore
+// newer headers, and files written before the headers existed load with
+// the scalars zeroed).
+func readTies(c *netlist.Circuit, f io.Reader) (comb, seq []learn.Tie, equiv int, err error) {
 	sc := bufio.NewScanner(f)
 	lineNo := 0
 	for sc.Scan() {
@@ -120,13 +132,22 @@ func readTies(c *netlist.Circuit, f io.Reader) (comb, seq []learn.Tie, err error
 		if line == "" {
 			continue
 		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.Fields(strings.TrimPrefix(line, "#"))
+			if len(fields) == 2 && fields[0] == "equiv-classes" {
+				if equiv, err = strconv.Atoi(fields[1]); err != nil || equiv < 0 {
+					return nil, nil, 0, fmt.Errorf("store: ties line %d: bad equiv-classes %q", lineNo, fields[1])
+				}
+			}
+			continue
+		}
 		fields := strings.Fields(line)
 		if len(fields) != 3 {
-			return nil, nil, fmt.Errorf("store: ties line %d: want 3 fields, got %d", lineNo, len(fields))
+			return nil, nil, 0, fmt.Errorf("store: ties line %d: want 3 fields, got %d", lineNo, len(fields))
 		}
 		node, ok := c.Lookup(fields[0])
 		if !ok {
-			return nil, nil, fmt.Errorf("store: ties line %d: unknown node %q", lineNo, fields[0])
+			return nil, nil, 0, fmt.Errorf("store: ties line %d: unknown node %q", lineNo, fields[0])
 		}
 		var val logic.V
 		switch fields[1] {
@@ -135,11 +156,11 @@ func readTies(c *netlist.Circuit, f io.Reader) (comb, seq []learn.Tie, err error
 		case "1":
 			val = logic.One
 		default:
-			return nil, nil, fmt.Errorf("store: ties line %d: bad value %q", lineNo, fields[1])
+			return nil, nil, 0, fmt.Errorf("store: ties line %d: bad value %q", lineNo, fields[1])
 		}
 		frame, err := strconv.Atoi(fields[2])
 		if err != nil || frame < 0 {
-			return nil, nil, fmt.Errorf("store: ties line %d: bad frame %q", lineNo, fields[2])
+			return nil, nil, 0, fmt.Errorf("store: ties line %d: bad frame %q", lineNo, fields[2])
 		}
 		tie := learn.Tie{Node: node, Val: val, Frame: frame}
 		if frame == 0 {
@@ -148,7 +169,7 @@ func readTies(c *netlist.Circuit, f io.Reader) (comb, seq []learn.Tie, err error
 			seq = append(seq, tie)
 		}
 	}
-	return comb, seq, sc.Err()
+	return comb, seq, equiv, sc.Err()
 }
 
 // writeAtomic writes path through a temp file in the same directory and

@@ -1,0 +1,75 @@
+package store
+
+import (
+	"bytes"
+	"testing"
+)
+
+// stripComments is the obviously-correct reference for what the streaming
+// commentStripper must compute: drop every '#'-to-newline span, keep the
+// newline.
+func stripComments(p []byte) []byte {
+	var out []byte
+	inComment := false
+	for _, b := range p {
+		switch {
+		case inComment:
+			if b == '\n' {
+				inComment = false
+				out = append(out, b)
+			}
+		case b == '#':
+			inComment = true
+		default:
+			out = append(out, b)
+		}
+	}
+	return out
+}
+
+// FuzzCommentStripper checks the fingerprint canonicalization filter
+// against the reference on arbitrary bytes AND arbitrary write chunkings:
+// the stripper carries comment state across Write calls, so the hash a
+// fingerprint sees must not depend on how bench.Write happens to slice its
+// output. A chunking-dependent hash would silently fragment the shared
+// cache between instances.
+func FuzzCommentStripper(f *testing.F) {
+	f.Add([]byte("INPUT(a)\n# name: s27\ny = NOT(a)\n"), uint8(3))
+	f.Add([]byte("# only a comment"), uint8(1))
+	f.Add([]byte("no comments at all\n"), uint8(7))
+	f.Add([]byte("a#b\nc#d"), uint8(2))
+	f.Fuzz(func(t *testing.T, data []byte, chunk uint8) {
+		want := stripComments(data)
+
+		var whole bytes.Buffer
+		cs := &commentStripper{w: &whole}
+		if _, err := cs.Write(data); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(whole.Bytes(), want) {
+			t.Fatalf("single write diverges from reference:\ngot  %q\nwant %q", whole.Bytes(), want)
+		}
+
+		// Same bytes, sliced into chunk-sized writes (1 byte when the fuzzer
+		// picks 0): the streamed result must be identical.
+		n := int(chunk)
+		if n == 0 {
+			n = 1
+		}
+		var pieces bytes.Buffer
+		cs = &commentStripper{w: &pieces}
+		for off := 0; off < len(data); off += n {
+			end := off + n
+			if end > len(data) {
+				end = len(data)
+			}
+			if _, err := cs.Write(data[off:end]); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if !bytes.Equal(pieces.Bytes(), want) {
+			t.Fatalf("chunked writes (%d bytes each) diverge from reference:\ngot  %q\nwant %q",
+				n, pieces.Bytes(), want)
+		}
+	})
+}

@@ -143,6 +143,11 @@ type Stats struct {
 	DiskFails int64 `json:"disk_fails"` // failed disk reads/writes (misses excluded)
 	InFlight  int   `json:"in_flight"`  // learning runs executing right now
 
+	// PeerDiskHits counts disk reloads of artifacts this instance did not
+	// write — another daemon sharing the cache dir learned them. The
+	// cross-instance amortization signal for fleet deployments.
+	PeerDiskHits int64 `json:"peer_disk_hits"`
+
 	// LearnCanceled counts learning runs abandoned mid-flight (client gone
 	// or deadline expired); canceled runs are never cached.
 	LearnCanceled int64 `json:"learn_canceled"`
@@ -155,16 +160,17 @@ type Stats struct {
 	Degradations int64 `json:"degradations"`
 
 	// The test-set (ATPG artifact) cache, same shape.
-	ATPGEntries   int   `json:"atpg_entries"`
-	ATPGHits      int64 `json:"atpg_hits"`
-	ATPGCoalesced int64 `json:"atpg_coalesced"`
-	ATPGDiskHits  int64 `json:"atpg_disk_hits"`
-	ATPGMisses    int64 `json:"atpg_misses"`
-	ATPGRuns      int64 `json:"atpg_runs"` // ATPG runs actually executed
-	ATPGEvictions int64 `json:"atpg_evictions"`
-	ATPGReuses    int64 `json:"atpg_reuses"`    // runs seeded by another artifact's tests
-	ATPGCanceled  int64 `json:"atpg_canceled"`  // runs abandoned mid-flight by their client
-	ATPGInFlight  int   `json:"atpg_in_flight"` // ATPG runs executing right now
+	ATPGEntries      int   `json:"atpg_entries"`
+	ATPGHits         int64 `json:"atpg_hits"`
+	ATPGCoalesced    int64 `json:"atpg_coalesced"`
+	ATPGDiskHits     int64 `json:"atpg_disk_hits"`
+	ATPGPeerDiskHits int64 `json:"atpg_peer_disk_hits"`
+	ATPGMisses       int64 `json:"atpg_misses"`
+	ATPGRuns         int64 `json:"atpg_runs"` // ATPG runs actually executed
+	ATPGEvictions    int64 `json:"atpg_evictions"`
+	ATPGReuses       int64 `json:"atpg_reuses"`    // runs seeded by another artifact's tests
+	ATPGCanceled     int64 `json:"atpg_canceled"`  // runs abandoned mid-flight by their client
+	ATPGInFlight     int   `json:"atpg_in_flight"` // ATPG runs executing right now
 }
 
 // Store caches learning artifacts by fingerprint. All methods are safe for
@@ -179,6 +185,12 @@ type Store struct {
 	probeMu   sync.Mutex
 	nextProbe time.Time
 
+	// saved records the fingerprints this instance persisted to disk, so a
+	// disk reload can be classified as self (our own artifact, evicted or
+	// re-requested) or peer (written by another instance sharing the cache
+	// dir — the fleet's cross-instance amortization signal).
+	saved sync.Map // fingerprint -> struct{}
+
 	mu       sync.Mutex
 	lru      *list.List // of *entry, most recent first
 	byFP     map[string]*list.Element
@@ -192,11 +204,11 @@ type Store struct {
 
 	// All counters live in the obs registry (Options.Metrics); /v1/stats
 	// reads the same cells /metrics exports, so the two views cannot drift.
-	hits, coalesced, diskHits, misses, learns, evictions, diskFails,
-	learnCanceled, degradations *obs.Counter
+	hits, coalesced, diskHits, peerDiskHits, misses, learns, evictions,
+	diskFails, learnCanceled, degradations *obs.Counter
 
-	atpgHits, atpgCoalesced, atpgDiskHits, atpgMisses, atpgRuns,
-	atpgEvictions, atpgReuses, atpgCanceled *obs.Counter
+	atpgHits, atpgCoalesced, atpgDiskHits, atpgPeerDiskHits, atpgMisses,
+	atpgRuns, atpgEvictions, atpgReuses, atpgCanceled *obs.Counter
 }
 
 type entry struct {
@@ -258,6 +270,9 @@ func (s *Store) registerMetrics(reg *obs.Registry) {
 	s.atpgHits = reg.Counter("seqlearnd_cache_hits_total", hitHelp, atpgL)
 	s.atpgCoalesced = reg.Counter("seqlearnd_cache_coalesced_total", coalHelp, atpgL)
 	s.atpgDiskHits = reg.Counter("seqlearnd_cache_disk_hits_total", diskHelp, atpgL)
+	peerHelp := "Disk reloads of artifacts persisted by another instance sharing the cache dir."
+	s.peerDiskHits = reg.Counter("seqlearnd_cache_peer_disk_hits_total", peerHelp, learnL)
+	s.atpgPeerDiskHits = reg.Counter("seqlearnd_cache_peer_disk_hits_total", peerHelp, atpgL)
 	s.atpgMisses = reg.Counter("seqlearnd_cache_misses_total", missHelp, atpgL)
 	s.atpgEvictions = reg.Counter("seqlearnd_cache_evictions_total", evictHelp, atpgL)
 
@@ -376,6 +391,9 @@ func (s *Store) learnResolve(fp string, c *netlist.Circuit, lopt learn.Options) 
 		}
 	case src == SourceDisk:
 		s.diskHits.Inc()
+		if _, self := s.saved.Load(fp); !self {
+			s.peerDiskHits.Inc()
+		}
 		s.insertLocked(fp, art)
 	default:
 		s.misses.Inc()
@@ -417,9 +435,28 @@ func (s *Store) build(fp string, c *netlist.Circuit, lopt learn.Options) (*Artif
 	if s.diskAvailable() {
 		if err := s.saveDisk(art); err != nil {
 			s.noteDiskError(err)
+		} else {
+			s.saved.Store(fp, struct{}{})
 		}
 	}
 	return art, SourceLearned, nil
+}
+
+// Cached returns the in-memory learning artifact for a fingerprint, if
+// resident — the fleet fast path: a client that already knows a circuit's
+// fingerprint sends just the header, and the server answers from memory or
+// asks for the body back (428). Disk is deliberately not consulted: the
+// on-disk format stores relations by node name and needs the circuit to
+// rebuild, which is exactly the upload the fast path exists to skip.
+func (s *Store) Cached(fp string) (*Artifact, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if el, ok := s.byFP[fp]; ok {
+		s.lru.MoveToFront(el)
+		s.hits.Inc()
+		return el.Value.(*entry).art, true
+	}
+	return nil, false
 }
 
 // insertLocked adds the artifact at the LRU front and evicts from the back
@@ -444,29 +481,31 @@ func (s *Store) Stats() Stats {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return Stats{
-		Entries:   s.lru.Len(),
-		Hits:      s.hits.Value(),
-		Coalesced: s.coalesced.Value(),
-		DiskHits:  s.diskHits.Value(),
-		Misses:    s.misses.Value(),
-		Learns:    s.learns.Value(),
-		Evictions: s.evictions.Value(),
-		DiskFails: s.diskFails.Value(),
-		InFlight:  len(s.inflight),
+		Entries:      s.lru.Len(),
+		Hits:         s.hits.Value(),
+		Coalesced:    s.coalesced.Value(),
+		DiskHits:     s.diskHits.Value(),
+		PeerDiskHits: s.peerDiskHits.Value(),
+		Misses:       s.misses.Value(),
+		Learns:       s.learns.Value(),
+		Evictions:    s.evictions.Value(),
+		DiskFails:    s.diskFails.Value(),
+		InFlight:     len(s.inflight),
 
 		LearnCanceled: s.learnCanceled.Value(),
 		Degraded:      s.degraded.Load(),
 		Degradations:  s.degradations.Value(),
 
-		ATPGEntries:   s.atpgLRU.Len(),
-		ATPGHits:      s.atpgHits.Value(),
-		ATPGCoalesced: s.atpgCoalesced.Value(),
-		ATPGDiskHits:  s.atpgDiskHits.Value(),
-		ATPGMisses:    s.atpgMisses.Value(),
-		ATPGRuns:      s.atpgRuns.Value(),
-		ATPGEvictions: s.atpgEvictions.Value(),
-		ATPGReuses:    s.atpgReuses.Value(),
-		ATPGCanceled:  s.atpgCanceled.Value(),
-		ATPGInFlight:  len(s.atpgInflight),
+		ATPGEntries:      s.atpgLRU.Len(),
+		ATPGHits:         s.atpgHits.Value(),
+		ATPGCoalesced:    s.atpgCoalesced.Value(),
+		ATPGDiskHits:     s.atpgDiskHits.Value(),
+		ATPGPeerDiskHits: s.atpgPeerDiskHits.Value(),
+		ATPGMisses:       s.atpgMisses.Value(),
+		ATPGRuns:         s.atpgRuns.Value(),
+		ATPGEvictions:    s.atpgEvictions.Value(),
+		ATPGReuses:       s.atpgReuses.Value(),
+		ATPGCanceled:     s.atpgCanceled.Value(),
+		ATPGInFlight:     len(s.atpgInflight),
 	}
 }

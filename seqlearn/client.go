@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"math/rand/v2"
@@ -11,6 +12,7 @@ import (
 	"net/url"
 	"strconv"
 	"strings"
+	"sync"
 	"time"
 
 	"repro/internal/bench"
@@ -32,6 +34,9 @@ type (
 	ServiceLearnResult = server.LearnResponse
 	// ServiceATPGResult is the answer of a remote test-generation request.
 	ServiceATPGResult = server.ATPGResponse
+	// ServiceATPGPartitionResult is the answer of a remote partitioned
+	// test-generation shard (see Fleet).
+	ServiceATPGPartitionResult = server.ATPGPartitionResponse
 	// ServiceFaultSimResult is the answer of a remote fault-simulation
 	// request.
 	ServiceFaultSimResult = server.FaultSimResponse
@@ -40,6 +45,15 @@ type (
 	// ServiceHealth is the daemon's liveness answer.
 	ServiceHealth = server.HealthResponse
 )
+
+// ErrDraining reports that the daemon answered its health probe with
+// "draining": it is shutting down and will not become healthy again, so
+// waiting longer is pointless. WaitHealthy fails fast with this error
+// (wrapped; test with errors.Is) instead of burning its whole timeout —
+// the caller should pick another instance. A daemon that is merely
+// degraded (disk cache lost, memory-only) still answers 200/"ok" and
+// reads as healthy.
+var ErrDraining = errors.New("seqlearn: daemon is draining")
 
 // RetryPolicy configures the client's automatic retry of compute
 // requests. Retries cover only idempotent outcomes — transport errors
@@ -79,9 +93,22 @@ func (p RetryPolicy) normalized() RetryPolicy {
 // The zero Client is not usable; construct with NewClient. A Client is
 // safe for concurrent use.
 type Client struct {
-	base  string
-	hc    *http.Client
-	retry RetryPolicy
+	base   string
+	hc     *http.Client
+	retry  RetryPolicy
+	tenant string
+
+	// fps remembers the daemon-reported learning-artifact fingerprint per
+	// (circuit, learn options): warm repeat requests send just the
+	// X-Circuit-Fingerprint header instead of re-uploading the netlist.
+	// Fingerprints are content addresses, so a mapping is never wrong —
+	// a 428 miss only means that instance is cold, and the body path
+	// re-warms it without invalidating the mapping.
+	fps sync.Map // fpKey -> string
+
+	// sleep waits between retries and health probes; tests inject a
+	// virtual clock here so backoff paths run without real sleeps.
+	sleep func(context.Context, time.Duration) error
 }
 
 // NewClient returns a client for the daemon at base (e.g.
@@ -94,6 +121,7 @@ func NewClient(base string) *Client {
 		base:  strings.TrimRight(base, "/"),
 		hc:    &http.Client{},
 		retry: RetryPolicy{}.normalized(),
+		sleep: sleepCtx,
 	}
 }
 
@@ -107,20 +135,88 @@ func (cl *Client) SetHTTPClient(hc *http.Client) { cl.hc = hc }
 // probe must report the daemon's state now, not eventually.
 func (cl *Client) SetRetryPolicy(p RetryPolicy) { cl.retry = p.normalized() }
 
+// SetTenant attaches the tenant name to every request (the X-Tenant
+// header), feeding the daemon's fair scheduling and per-tenant metrics.
+// Empty (the default) means the daemon's "default" tenant. Must be set
+// before the client is shared across goroutines.
+func (cl *Client) SetTenant(tenant string) { cl.tenant = tenant }
+
+// fpKey identifies a learning artifact from the client's side: the
+// circuit instance plus the learning options that shape the result.
+// (Workers, timeouts and tracing are execution knobs — the daemon's
+// fingerprint ignores them, so the key does too.)
+type fpKey struct {
+	c    *Circuit
+	opts string
+}
+
+func learnFPKey(c *Circuit, p ServiceLearnParams) fpKey {
+	return fpKey{c, fmt.Sprintf("%d|%t|%t|%t", p.MaxFrames, p.SingleOnly, p.SkipComb, p.NoEarlyStop)}
+}
+
 // Learn asks the daemon for the learned implication summary of c,
 // resolving through the daemon's snapshot cache. Canceling ctx aborts the
 // request immediately; the daemon notices the disconnect and stops
-// computing at the next checkpoint.
+// computing at the next checkpoint. A repeat Learn for the same circuit
+// and options sends only the artifact fingerprint (no netlist body); if
+// the daemon answers 428 — another instance, or an evicted cache — the
+// client transparently falls back to the body upload.
 func (cl *Client) Learn(ctx context.Context, c *Circuit, p ServiceLearnParams) (*ServiceLearnResult, error) {
-	return post[ServiceLearnResult](ctx, cl, "/v1/learn", p.Query(), c)
+	key := learnFPKey(c, p)
+	if fp, ok := cl.fps.Load(key); ok {
+		res, miss, err := postFingerprint[ServiceLearnResult](ctx, cl, "/v1/learn", p.Query(), c.Name, fp.(string))
+		if !miss {
+			return res, err
+		}
+	}
+	res, err := post[ServiceLearnResult](ctx, cl, "/v1/learn", p.Query(), c)
+	if err == nil {
+		cl.fps.Store(key, res.Fingerprint)
+	}
+	return res, err
 }
 
 // GenerateTests runs remote ATPG on c. Results are bit-identical to a
 // local GenerateTests with the same options — the daemon runs the same
 // engines against a cached snapshot. Canceling ctx abandons the run; the
 // daemon stops at the next fault boundary and frees its compute slot.
+// Like Learn, a known artifact fingerprint replaces the netlist body on
+// warm requests, with an automatic body fallback on a 428 miss.
 func (cl *Client) GenerateTests(ctx context.Context, c *Circuit, p ServiceATPGParams) (*ServiceATPGResult, error) {
-	return post[ServiceATPGResult](ctx, cl, "/v1/atpg", p.Query(), c)
+	key := learnFPKey(c, p.Learn)
+	if fp, ok := cl.fps.Load(key); ok {
+		res, miss, err := postFingerprint[ServiceATPGResult](ctx, cl, "/v1/atpg", p.Query(), c.Name, fp.(string))
+		if !miss {
+			return res, err
+		}
+	}
+	res, err := post[ServiceATPGResult](ctx, cl, "/v1/atpg", p.Query(), c)
+	if err == nil {
+		cl.fps.Store(key, res.Fingerprint)
+	}
+	return res, err
+}
+
+// GenerateTestsPartition runs one shard of a partitioned ATPG run
+// (?partition=i/n): speculative per-position results with no fault
+// dropping, to be merged by Fleet (or atpg.MergePartitions directly)
+// into a result bit-identical to the unpartitioned run.
+func (cl *Client) GenerateTestsPartition(ctx context.Context, c *Circuit, p ServiceATPGParams, part PartitionSpec) (*ServiceATPGPartitionResult, error) {
+	p.Partition = part.String()
+	p.Reuse = ""
+	p.IncludeTests = false
+	key := learnFPKey(c, p.Learn)
+	if fp, ok := cl.fps.Load(key); ok {
+		res, miss, err := postFingerprint[ServiceATPGPartitionResult](ctx, cl, "/v1/atpg", p.Query(), c.Name, fp.(string))
+		if !miss {
+			return res, err
+		}
+	}
+	res, err := post[ServiceATPGPartitionResult](ctx, cl, "/v1/atpg", p.Query(), c)
+	if err == nil {
+		cl.fps.Store(key, res.Fingerprint)
+	}
+	return res, err
 }
 
 // SimulateFaults fault-simulates c's collapsed fault universe remotely
@@ -145,16 +241,39 @@ func post[T any](ctx context.Context, cl *Client, path string, q url.Values, c *
 		return nil, fmt.Errorf("seqlearn: client: serialize %s: %w", c.Name, err)
 	}
 	q.Set("name", c.Name)
+	res, _, err := request[T](ctx, cl, path, q, body.Bytes(), "")
+	return res, err
+}
+
+// postFingerprint sends the body-less fast-path request: just the
+// X-Circuit-Fingerprint header. The second result reports a 428 miss —
+// the daemon does not hold the artifact and the caller should fall back
+// to the body path.
+func postFingerprint[T any](ctx context.Context, cl *Client, path string, q url.Values, name, fp string) (*T, bool, error) {
+	q.Set("name", name)
+	return request[T](ctx, cl, path, q, nil, fp)
+}
+
+// request is the shared compute-request loop: replayable body, optional
+// fingerprint header, tenant header, retry policy. The bool result is
+// the fast-path miss signal (428; only possible when fp is set).
+func request[T any](ctx context.Context, cl *Client, path string, q url.Values, body []byte, fp string) (*T, bool, error) {
 	u := cl.base + path + "?" + q.Encode()
 	pol := cl.retry
 	for attempt := 1; ; attempt++ {
 		// The serialized netlist is buffered once; every attempt replays
 		// the same bytes.
-		req, err := http.NewRequestWithContext(ctx, http.MethodPost, u, bytes.NewReader(body.Bytes()))
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost, u, bytes.NewReader(body))
 		if err != nil {
-			return nil, fmt.Errorf("seqlearn: client: %w", err)
+			return nil, false, fmt.Errorf("seqlearn: client: %w", err)
 		}
 		req.Header.Set("Content-Type", "text/plain")
+		if fp != "" {
+			req.Header.Set(server.FingerprintHeader, fp)
+		}
+		if cl.tenant != "" {
+			req.Header.Set(server.TenantHeader, cl.tenant)
+		}
 		resp, err := cl.hc.Do(req)
 		last := attempt >= pol.MaxAttempts
 		if err != nil {
@@ -162,23 +281,31 @@ func post[T any](ctx context.Context, cl *Client, path string, q url.Values, c *
 			// completion and a retry is safe — unless the caller's own
 			// context ended the request.
 			if last || ctx.Err() != nil {
-				return nil, fmt.Errorf("seqlearn: client: %w", err)
+				return nil, false, fmt.Errorf("seqlearn: client: %w", err)
 			}
+		} else if fp != "" && resp.StatusCode == http.StatusPreconditionRequired {
+			// This instance does not hold the artifact; tell the caller to
+			// re-send the body (which re-warms it). The mapping stays — the
+			// fingerprint is a content address and cannot go stale.
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			return nil, true, nil
 		} else if last || !retryableStatus(resp.StatusCode) {
-			return decode[T](path, resp)
+			res, err := decode[T](path, resp)
+			return res, false, err
 		} else {
 			// A shed or unavailable daemon told us to come back; honor its
 			// Retry-After in the backoff and drop the body.
 			io.Copy(io.Discard, resp.Body)
 			resp.Body.Close()
-			err = sleepCtx(ctx, pol.delay(attempt, retryAfter(resp)))
+			err = cl.sleep(ctx, pol.delay(attempt, retryAfter(resp)))
 			if err != nil {
-				return nil, fmt.Errorf("seqlearn: client: %s retry abandoned: %w", path, err)
+				return nil, false, fmt.Errorf("seqlearn: client: %s retry abandoned: %w", path, err)
 			}
 			continue
 		}
-		if err := sleepCtx(ctx, pol.delay(attempt, 0)); err != nil {
-			return nil, fmt.Errorf("seqlearn: client: %s retry abandoned: %w", path, err)
+		if err := cl.sleep(ctx, pol.delay(attempt, 0)); err != nil {
+			return nil, false, fmt.Errorf("seqlearn: client: %s retry abandoned: %w", path, err)
 		}
 	}
 }
@@ -255,6 +382,9 @@ func get[T any](ctx context.Context, cl *Client, path string) (*T, error) {
 	if err != nil {
 		return nil, fmt.Errorf("seqlearn: client: %w", err)
 	}
+	if cl.tenant != "" {
+		req.Header.Set(server.TenantHeader, cl.tenant)
+	}
 	resp, err := cl.hc.Do(req)
 	if err != nil {
 		return nil, fmt.Errorf("seqlearn: client: %w", err)
@@ -286,25 +416,61 @@ func decode[T any](path string, resp *http.Response) (*T, error) {
 // passes, or ctx is canceled — the startup handshake for scripts and tests
 // that just spawned a daemon process. Probes back off exponentially (5ms
 // doubling to a 250ms ceiling), so a fast-starting daemon is noticed in
-// milliseconds without hammering a slow one. A draining daemon answers
-// 503 and therefore never reads as healthy.
+// milliseconds without hammering a slow one.
+//
+// Two 503s look alike but mean opposite things, so WaitHealthy reads the
+// health body: a "draining" daemon is shutting down and will never become
+// healthy — fail immediately with ErrDraining instead of spending the
+// whole timeout on it. A degraded daemon (disk cache lost) answers 200
+// and reads as healthy: it still serves correct results from memory.
 func (cl *Client) WaitHealthy(ctx context.Context, timeout time.Duration) error {
 	deadline := time.Now().Add(timeout)
 	const maxProbeGap = 250 * time.Millisecond
 	gap := 5 * time.Millisecond
 	for {
-		if _, err := cl.Health(ctx); err == nil {
+		err := cl.probeHealth(ctx)
+		if err == nil {
 			return nil
-		} else if ctx.Err() != nil {
+		}
+		if errors.Is(err, ErrDraining) {
+			return fmt.Errorf("seqlearn: daemon at %s: %w", cl.base, err)
+		}
+		if ctx.Err() != nil {
 			return fmt.Errorf("seqlearn: waiting for daemon at %s: %w", cl.base, ctx.Err())
-		} else if time.Now().After(deadline) {
+		}
+		if time.Now().After(deadline) {
 			return fmt.Errorf("seqlearn: daemon at %s not healthy after %v: %w", cl.base, timeout, err)
 		}
-		if err := sleepCtx(ctx, gap); err != nil {
+		if err := cl.sleep(ctx, gap); err != nil {
 			return fmt.Errorf("seqlearn: waiting for daemon at %s: %w", cl.base, err)
 		}
 		if gap *= 2; gap > maxProbeGap {
 			gap = maxProbeGap
 		}
 	}
+}
+
+// probeHealth fetches /healthz once and classifies the answer: nil for a
+// ready daemon (degraded-but-ready included), ErrDraining (wrapped) for a
+// shutting-down one, a transport or status error otherwise. Unlike Health
+// it decodes the body on non-200 answers, because the draining signal is
+// a 503 whose body says why.
+func (cl *Client) probeHealth(ctx context.Context) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, cl.base+"/healthz", nil)
+	if err != nil {
+		return fmt.Errorf("seqlearn: client: %w", err)
+	}
+	resp, err := cl.hc.Do(req)
+	if err != nil {
+		return fmt.Errorf("seqlearn: client: %w", err)
+	}
+	defer resp.Body.Close()
+	var h ServiceHealth
+	if jsonErr := json.NewDecoder(resp.Body).Decode(&h); jsonErr == nil && h.Status == "draining" {
+		return ErrDraining
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("seqlearn: daemon %s", resp.Status)
+	}
+	return nil
 }

@@ -7,6 +7,7 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -106,12 +107,37 @@ func TestClientContextCancellation(t *testing.T) {
 	}
 }
 
-// fastRetry is a test policy that keeps backoff waits microscopic.
-var fastRetry = seqlearn.RetryPolicy{MaxAttempts: 4, BaseDelay: time.Millisecond, MaxDelay: 5 * time.Millisecond}
+// fastRetry is the retry policy the de-flaked tests use. Delays never
+// actually elapse — instantClock swallows them — so the values are the
+// production defaults, and the tests assert on the recorded waits
+// instead of racing a wall clock.
+var fastRetry = seqlearn.RetryPolicy{MaxAttempts: 4, BaseDelay: 100 * time.Millisecond, MaxDelay: 5 * time.Second}
+
+// instantClock replaces the client's retry/probe sleeper with a recorder
+// that returns immediately: backoff paths run deterministically with no
+// real sleeps (so these tests stay fast and non-flaky under -race).
+func instantClock(cl *seqlearn.Client) func() []time.Duration {
+	var mu sync.Mutex
+	var waits []time.Duration
+	cl.SetSleepFunc(func(ctx context.Context, d time.Duration) error {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		mu.Lock()
+		waits = append(waits, d)
+		mu.Unlock()
+		return nil
+	})
+	return func() []time.Duration {
+		mu.Lock()
+		defer mu.Unlock()
+		return append([]time.Duration(nil), waits...)
+	}
+}
 
 // TestClientRetriesShedRequests: a daemon that sheds twice and then
 // serves must look like one successful call — with the full netlist body
-// replayed on every attempt.
+// replayed on every attempt, and every backoff capped at MaxDelay.
 func TestClientRetriesShedRequests(t *testing.T) {
 	var attempts atomic.Int64
 	real := server.New(server.Config{})
@@ -131,7 +157,7 @@ func TestClientRetriesShedRequests(t *testing.T) {
 
 	cl := seqlearn.NewClient(ts.URL)
 	cl.SetRetryPolicy(fastRetry)
-	start := time.Now()
+	waits := instantClock(cl)
 	lr, err := cl.Learn(context.Background(), seqlearn.Figure2(), seqlearn.ServiceLearnParams{})
 	if err != nil {
 		t.Fatalf("retrying client gave up: %v", err)
@@ -142,8 +168,15 @@ func TestClientRetriesShedRequests(t *testing.T) {
 	if lr.Cache != "miss" || lr.Relations == 0 {
 		t.Fatalf("served response after retries: %+v", lr)
 	}
-	if elapsed := time.Since(start); elapsed > 5*time.Second {
-		t.Fatalf("Retry-After not capped by MaxDelay: took %v", elapsed)
+	got := waits()
+	if len(got) != 2 {
+		t.Fatalf("recorded %d backoff waits, want 2: %v", len(got), got)
+	}
+	for i, d := range got {
+		// Retry-After said 30s; the policy must clamp to MaxDelay exactly.
+		if d != fastRetry.MaxDelay {
+			t.Fatalf("wait %d = %v, want Retry-After capped at MaxDelay %v", i, d, fastRetry.MaxDelay)
+		}
 	}
 }
 
@@ -161,12 +194,16 @@ func TestClientDoesNotRetryTimeouts(t *testing.T) {
 
 	cl := seqlearn.NewClient(ts.URL)
 	cl.SetRetryPolicy(fastRetry)
+	waits := instantClock(cl)
 	_, err := cl.Learn(context.Background(), seqlearn.Figure2(), seqlearn.ServiceLearnParams{})
 	if err == nil || !strings.Contains(err.Error(), "deadline expired") {
 		t.Fatalf("err = %v, want the daemon's 504 message", err)
 	}
 	if got := attempts.Load(); got != 1 {
 		t.Fatalf("attempts = %d, want exactly 1 (504 is not retryable)", got)
+	}
+	if got := waits(); len(got) != 0 {
+		t.Fatalf("504 triggered backoff waits: %v", got)
 	}
 }
 
@@ -184,11 +221,23 @@ func TestClientRetryGivesUp(t *testing.T) {
 
 	cl := seqlearn.NewClient(ts.URL)
 	cl.SetRetryPolicy(fastRetry)
+	waits := instantClock(cl)
 	if _, err := cl.Learn(context.Background(), seqlearn.Figure2(), seqlearn.ServiceLearnParams{}); err == nil {
 		t.Fatal("persistent 503 reported success")
 	}
 	if got := attempts.Load(); got != int64(fastRetry.MaxAttempts) {
 		t.Fatalf("attempts = %d, want %d", got, fastRetry.MaxAttempts)
+	}
+	// Exponential shape, capped: each wait at least doubles until MaxDelay,
+	// and none exceeds it.
+	got := waits()
+	if len(got) != fastRetry.MaxAttempts-1 {
+		t.Fatalf("recorded %d waits, want %d: %v", len(got), fastRetry.MaxAttempts-1, got)
+	}
+	for i, d := range got {
+		if d <= 0 || d > fastRetry.MaxDelay {
+			t.Fatalf("wait %d = %v, outside (0, %v]", i, d, fastRetry.MaxDelay)
+		}
 	}
 
 	// Probes never retry internally: one 503 is one failed Stats call.

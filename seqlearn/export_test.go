@@ -1,0 +1,10 @@
+package seqlearn
+
+import (
+	"context"
+	"time"
+)
+
+// SetSleepFunc injects a virtual clock for retry backoff and health-probe
+// waits, so tests exercise those paths without real sleeps.
+func (cl *Client) SetSleepFunc(f func(context.Context, time.Duration) error) { cl.sleep = f }

@@ -1,0 +1,169 @@
+package seqlearn
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/atpg"
+	"repro/internal/bench"
+	"repro/internal/server"
+)
+
+// PartitionSpec identifies one shard of a partitioned ATPG run: the
+// fault-list positions p with p % Count == Index.
+type PartitionSpec = atpg.Partition
+
+// Fleet scatters partitioned ATPG runs across several seqlearnd
+// instances and gathers the shards into a result bit-identical to a
+// single-instance (or fully local) run with the same options. Each
+// daemon executes the PODEM searches for its shard speculatively — no
+// fault dropping — and the client replays all shards in canonical fault
+// order through the engine's merge, where dropping, verification,
+// compaction and counting happen (atpg.MergePartitions).
+//
+// The merge needs no learned data, so the client stays thin: the heavy
+// implication snapshots live only in the daemons' caches. Instances
+// sharing a -cache-dir resolve the learning artifact from disk after the
+// first of them computes it, so an n-way scatter costs one learning run
+// fleet-wide, not n.
+type Fleet struct {
+	clients []*Client
+}
+
+// NewFleet returns a fleet over one client per base URL (comma-splitting
+// is the caller's job; see FleetOf to share configured Clients).
+func NewFleet(bases ...string) *Fleet {
+	clients := make([]*Client, len(bases))
+	for i, b := range bases {
+		clients[i] = NewClient(b)
+	}
+	return &Fleet{clients: clients}
+}
+
+// FleetOf returns a fleet over already-configured clients (retry policy,
+// tenant, HTTP client), in scatter order.
+func FleetOf(clients ...*Client) *Fleet {
+	return &Fleet{clients: clients}
+}
+
+// Clients returns the fleet's members, in scatter order: shard i/n goes
+// to client i.
+func (f *Fleet) Clients() []*Client { return f.clients }
+
+// WaitHealthy waits for every member to become healthy, failing fast on
+// the first draining or timed-out instance.
+func (f *Fleet) WaitHealthy(ctx context.Context, timeout time.Duration) error {
+	for _, cl := range f.clients {
+		if err := cl.WaitHealthy(ctx, timeout); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// GenerateTests runs the partitioned scatter/gather: shard i/n on client
+// i concurrently, then the canonical merge locally. The returned
+// RunResult is bit-identical to GenerateTests(c, ...) run on any single
+// daemon — or locally — with the same options: same counts, same tests,
+// same backtrack totals.
+//
+// p.Partition, p.Reuse and p.IncludeTests are owned by the scatter and
+// ignored if set: shards carry their tests by construction, and seeding
+// or reuse are merge-side concerns a shard cannot honor.
+func (f *Fleet) GenerateTests(ctx context.Context, c *Circuit, p ServiceATPGParams) (*RunResult, error) {
+	n := len(f.clients)
+	if n == 0 {
+		return nil, fmt.Errorf("seqlearn: fleet: no clients")
+	}
+
+	// Re-parse the serialized netlist so the local merge sees exactly the
+	// circuit instance the daemons parse: fault enumeration order — what
+	// partition positions index into — is a property of that instance.
+	var sb strings.Builder
+	if err := bench.Write(&sb, c); err != nil {
+		return nil, fmt.Errorf("seqlearn: fleet: serialize %s: %w", c.Name, err)
+	}
+	local, err := bench.Parse(c.Name, strings.NewReader(sb.String()))
+	if err != nil {
+		return nil, fmt.Errorf("seqlearn: fleet: re-parse %s: %w", c.Name, err)
+	}
+
+	shards := make([]*ServiceATPGPartitionResult, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	wg.Add(n)
+	for i, cl := range f.clients {
+		go func(i int, cl *Client) {
+			defer wg.Done()
+			shards[i], errs[i] = cl.GenerateTestsPartition(ctx, c, p, PartitionSpec{Index: i, Count: n})
+		}(i, cl)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("seqlearn: fleet: shard %d/%d: %w", i, n, err)
+		}
+	}
+
+	parts := make([]atpg.PartitionResult, n)
+	for i, shard := range shards {
+		if parts[i], err = reconstructPartition(shard, len(local.PIs)); err != nil {
+			return nil, fmt.Errorf("seqlearn: fleet: shard %d/%d: %w", i, n, err)
+		}
+	}
+	// The merge replays fault dropping and verification by packed fault
+	// simulation only — Mode, backtrack limits and the learned snapshot
+	// already did their work inside the shards.
+	merged, err := atpg.MergePartitions(local, atpg.RunOptions{
+		MaxFaults:    p.MaxFaults,
+		Parallelism:  p.Workers,
+		CompactTests: p.Compact,
+	}, parts)
+	if err != nil {
+		return nil, fmt.Errorf("seqlearn: fleet: %w", err)
+	}
+	return &merged, nil
+}
+
+// FormatServiceTest renders one generated test sequence in the wire form
+// (frame strings, one character per primary input in declaration order) —
+// the format ServiceATPGResult.TestVectors uses, so merged fleet results
+// compare directly against served ones.
+func FormatServiceTest(test [][]V) []string { return server.FormatTest(test) }
+
+// reconstructPartition rebuilds the engine-level partition result from
+// its wire form, validating outcomes and test frames against the local
+// circuit so corrupted responses fail loudly instead of simulating
+// garbage.
+func reconstructPartition(shard *ServiceATPGPartitionResult, numPIs int) (atpg.PartitionResult, error) {
+	part, err := atpg.ParsePartition(shard.Partition)
+	if err != nil {
+		return atpg.PartitionResult{}, err
+	}
+	pr := atpg.PartitionResult{
+		Partition:  part,
+		Total:      shard.Total,
+		Positions:  make([]int, len(shard.Results)),
+		Results:    make([]atpg.Result, len(shard.Results)),
+		Generated:  shard.Generated,
+		Backtracks: shard.Backtracks,
+	}
+	for i, e := range shard.Results {
+		pr.Positions[i] = e.Position
+		outcome, err := server.ParseOutcome(e.Outcome)
+		if err != nil {
+			return atpg.PartitionResult{}, err
+		}
+		res := atpg.Result{Outcome: outcome, Backtracks: e.Backtracks}
+		if outcome == atpg.Detected {
+			if res.Test, err = server.ParseTest(e.Test, numPIs); err != nil {
+				return atpg.PartitionResult{}, err
+			}
+		}
+		pr.Results[i] = res
+	}
+	return pr, nil
+}
